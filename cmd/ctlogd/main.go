@@ -1,0 +1,71 @@
+// Command ctlogd runs a standalone RFC 6962 Certificate Transparency log
+// over HTTP, with an ECDSA P-256 signing key generated at startup.
+//
+// Usage:
+//
+//	ctlogd [-addr 127.0.0.1:8764] [-name "Dev Log"] [-capacity N]
+//
+// The ct/v1 endpoints (add-chain, add-pre-chain, get-sth,
+// get-sth-consistency, get-proof-by-hash, get-entries) are served under
+// the given address. -capacity rate-limits submissions per second to
+// experiment with overload behaviour (the Nimbus incident).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/sct"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8764", "listen address")
+	name := flag.String("name", "Dev Log", "log display name")
+	operator := flag.String("operator", "ctrise", "log operator")
+	capacity := flag.Float64("capacity", 0, "max submissions/second (0 = unlimited)")
+	flag.Parse()
+
+	signer, err := sct.NewSigner(nil)
+	if err != nil {
+		log.Fatalf("generating log key: %v", err)
+	}
+	l, err := ctlog.New(ctlog.Config{
+		Name:              *name,
+		Operator:          *operator,
+		Signer:            signer,
+		CapacityPerSecond: *capacity,
+	})
+	if err != nil {
+		log.Fatalf("creating log: %v", err)
+	}
+
+	// Publish fresh STHs periodically so monitors see progress.
+	mux := http.NewServeMux()
+	mux.Handle("/ct/v1/", publishingHandler{l})
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "%s (%s)\nlog id: %s\ntree size: %d\n", l.Name(), l.Operator(), l.LogID(), l.TreeSize())
+	})
+
+	fmt.Fprintf(os.Stderr, "ctlogd: %s listening on http://%s (log id %s)\n", *name, *addr, l.LogID())
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// publishingHandler publishes an STH before every read so the standalone
+// log never appears stale (production logs batch within the MMD instead).
+type publishingHandler struct{ l *ctlog.Log }
+
+func (h publishingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		if _, err := h.l.PublishSTH(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	h.l.Handler().ServeHTTP(w, r)
+}

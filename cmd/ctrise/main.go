@@ -1,0 +1,106 @@
+// Command ctrise runs every experiment of the paper reproduction and
+// renders all tables and figures.
+//
+// Usage:
+//
+//	ctrise [-seed 2018] [-scale 1] [-domains 20000] [-only fig1,fig2,tab1,scan,sec4,tab3,tab4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"ctrise/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2018, "simulation seed")
+	scale := flag.Float64("scale", 1, "scale multiplier (1 = fast defaults)")
+	domains := flag.Int("domains", 20000, "registrable-domain population size")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,tab1,scan,sec4,tab3,tab4")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	enabled := func(k string) bool { return len(want) == 0 || want[k] }
+
+	s := experiments.NewSuite(experiments.Options{Seed: *seed, Scale: *scale, NumDomains: *domains})
+	start := time.Now()
+
+	if enabled("fig1") {
+		r, err := s.Figure1()
+		if err != nil {
+			log.Fatalf("figure 1: %v", err)
+		}
+		section("SECTION 2: TIMELINE OF CT LOG EVOLUTION")
+		fmt.Println(r.RenderFigure1a())
+		fmt.Println(r.RenderFigure1b())
+		fmt.Println(r.RenderFigure1c())
+		fmt.Printf("total harvested precertificates: %d\n\n", r.TotalPrecerts)
+	}
+
+	if enabled("fig2") || enabled("tab1") {
+		r := s.Traffic()
+		section("SECTION 3.2: PASSIVE CT ADOPTION (UCB-UPLINK SHAPE)")
+		fmt.Println(r.RenderTotals())
+		if enabled("fig2") {
+			fmt.Println(r.RenderFigure2())
+		}
+		if enabled("tab1") {
+			fmt.Println(r.RenderTable1())
+		}
+	}
+
+	if enabled("scan") {
+		r, err := s.Scan()
+		if err != nil {
+			log.Fatalf("scan: %v", err)
+		}
+		section("SECTION 3.3/3.4: ACTIVE SCAN")
+		fmt.Println(r.RenderSection33())
+		fmt.Println(r.RenderSection34())
+	}
+
+	if enabled("sec4") {
+		r, err := s.Section4()
+		if err != nil {
+			log.Fatalf("section 4: %v", err)
+		}
+		section("SECTION 4: LEAKAGE OF DNS INFORMATION")
+		fmt.Println(r.RenderTable2())
+		fmt.Println(r.RenderSection43())
+	}
+
+	if enabled("tab3") {
+		r, err := s.Table3()
+		if err != nil {
+			log.Fatalf("table 3: %v", err)
+		}
+		section("SECTION 5: DETECTING PHISHING DOMAINS")
+		fmt.Println(r.RenderTable3())
+	}
+
+	if enabled("tab4") {
+		r, err := s.Table4()
+		if err != nil {
+			log.Fatalf("table 4: %v", err)
+		}
+		section("SECTION 6: CT HONEYPOT")
+		fmt.Println(r.RenderTable4())
+	}
+
+	fmt.Fprintf(os.Stderr, "ctrise: done in %v (seed=%d scale=%g domains=%d)\n",
+		time.Since(start).Round(time.Millisecond), *seed, *scale, *domains)
+}
+
+func section(title string) {
+	fmt.Printf("%s\n%s\n%s\n\n", strings.Repeat("=", len(title)), title, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,304 @@
+package ca
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ctrise/internal/certs"
+	"ctrise/internal/ctlog"
+	"ctrise/internal/sct"
+)
+
+func testClock() func() time.Time {
+	now := time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time { return now }
+}
+
+func newFastLog(t *testing.T, name string) *ctlog.Log {
+	t.Helper()
+	l, err := ctlog.New(ctlog.Config{
+		Name:   name,
+		Signer: sct.NewFastSigner(name),
+		Clock:  testClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func newCA(t *testing.T, name string, logs ...LogSubmitter) *CA {
+	t.Helper()
+	c, err := New(Config{Name: name, Org: name + " Org", Logs: logs, Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func verifierMap(logs ...*ctlog.Log) map[sct.LogID]sct.SCTVerifier {
+	m := make(map[sct.LogID]sct.SCTVerifier)
+	for _, l := range logs {
+		m[l.LogID()] = l.Verifier()
+	}
+	return m
+}
+
+func TestNewRequiresLogs(t *testing.T) {
+	if _, err := New(Config{Name: "x"}); !errors.Is(err, ErrNoLogs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIssueEmbedsValidSCTs(t *testing.T) {
+	l1 := newFastLog(t, "Log One")
+	l2 := newFastLog(t, "Log Two")
+	c := newCA(t, "Honest CA", l1, l2)
+
+	iss, err := c.Issue(Request{Names: []string{"www.example.org", "example.org"}, EmbedSCTs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iss.Precert.IsPrecert() {
+		t.Fatal("precert lacks poison")
+	}
+	if iss.Final.IsPrecert() {
+		t.Fatal("final cert carries poison")
+	}
+	if len(iss.SCTs) != 2 || len(iss.Logs) != 2 {
+		t.Fatalf("SCTs = %d, logs = %v", len(iss.SCTs), iss.Logs)
+	}
+	// Both logs sequenced the precert.
+	if l1.TreeSize() != 1 || l2.TreeSize() != 1 {
+		t.Fatalf("log sizes: %d, %d", l1.TreeSize(), l2.TreeSize())
+	}
+	res, err := ValidateEmbeddedSCTs(iss.Final, c.IssuerKeyHash(), verifierMap(l1, l2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invalid() || res.Valid != 2 {
+		t.Fatalf("honest issuance flagged: %+v", res)
+	}
+}
+
+func TestIssueWithoutEmbedding(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "TLS-Ext CA", l)
+	iss, err := c.Issue(Request{Names: []string{"site.example"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iss.Final.HasSCTList() {
+		t.Fatal("final cert should not embed SCTs")
+	}
+	if len(iss.SCTs) != 1 {
+		t.Fatal("SCTs should still be returned for TLS-extension delivery")
+	}
+}
+
+func TestIssueRejectsEmptyNames(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "CA", l)
+	if _, err := c.Issue(Request{}); !errors.Is(err, ErrNoNames) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFaultSANReorderDetected(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "GlobalSign-like", l)
+	iss, err := c.Issue(Request{
+		Names:       []string{"a.example", "b.example", "c.example"},
+		IPAddresses: []string{"192.0.2.1"},
+		EmbedSCTs:   true,
+		Fault:       FaultSANReorder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateEmbeddedSCTs(iss.Final, c.IssuerKeyHash(), verifierMap(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invalid() {
+		t.Fatal("SAN reorder not detected")
+	}
+	// The final cert still carries the same names, just reordered.
+	if len(iss.Final.DNSNames) != 3 || iss.Final.DNSNames[0] != "c.example" {
+		t.Fatalf("SANs = %v", iss.Final.DNSNames)
+	}
+}
+
+func TestFaultExtReorderDetected(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "D-TRUST-like", l)
+	iss, err := c.Issue(Request{Names: []string{"x.example"}, EmbedSCTs: true, Fault: FaultExtReorder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateEmbeddedSCTs(iss.Final, c.IssuerKeyHash(), verifierMap(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invalid() {
+		t.Fatal("extension reorder not detected")
+	}
+}
+
+func TestFaultSANReplaceDetected(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "NetLock-like", l)
+	iss, err := c.Issue(Request{Names: []string{"orig.example"}, EmbedSCTs: true, Fault: FaultSANReplace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iss.Final.DNSNames[0] != "replaced-orig.example" {
+		t.Fatalf("SANs = %v", iss.Final.DNSNames)
+	}
+	res, err := ValidateEmbeddedSCTs(iss.Final, c.IssuerKeyHash(), verifierMap(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invalid() {
+		t.Fatal("SAN replacement not detected")
+	}
+}
+
+func TestFaultStaleSCTDetected(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "TeliaSonera-like", l)
+	// First issuance is honest.
+	if _, err := c.Issue(Request{Names: []string{"first.example"}, EmbedSCTs: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-issuance embeds the previous certificate's SCT.
+	iss2, err := c.Issue(Request{Names: []string{"first.example"}, EmbedSCTs: true, Fault: FaultStaleSCT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateEmbeddedSCTs(iss2.Final, c.IssuerKeyHash(), verifierMap(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invalid() {
+		t.Fatal("stale SCT not detected (serial number changed, so TBS changed)")
+	}
+}
+
+func TestFaultStaleSCTNeedsPredecessor(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "CA", l)
+	if _, err := c.Issue(Request{Names: []string{"x.example"}, EmbedSCTs: true, Fault: FaultStaleSCT}); !errors.Is(err, ErrNoReplay) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownLogReported(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "CA", l)
+	iss, err := c.Issue(Request{Names: []string{"y.example"}, EmbedSCTs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateEmbeddedSCTs(iss.Final, c.IssuerKeyHash(), map[sct.LogID]sct.SCTVerifier{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invalid() || res.Problems[0].Reason != "unknown log" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestLogFinalCerts(t *testing.T) {
+	l := newFastLog(t, "L")
+	c, err := New(Config{Name: "LE-like", Logs: []LogSubmitter{l}, LogFinalCerts: true, Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Issue(Request{Names: []string{"z.example"}, EmbedSCTs: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Precert + final cert = 2 entries.
+	if l.TreeSize() != 2 {
+		t.Fatalf("tree size = %d, want 2", l.TreeSize())
+	}
+}
+
+func TestSerialNumbersIncrease(t *testing.T) {
+	l := newFastLog(t, "L")
+	c := newCA(t, "CA", l)
+	i1, err := c.Issue(Request{Names: []string{"a.example"}, EmbedSCTs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := c.Issue(Request{Names: []string{"b.example"}, EmbedSCTs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.Final.SerialNumber <= i1.Final.SerialNumber {
+		t.Fatal("serials must increase")
+	}
+}
+
+func TestRealCryptoEndToEnd(t *testing.T) {
+	// The full flow with a genuine ECDSA log: SCTs verify, and a fault is
+	// detected cryptographically.
+	signer, err := sct.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ctlog.New(ctlog.Config{Name: "Real Log", Signer: signer, Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCA(t, "Real CA", l)
+	iss, err := c.Issue(Request{Names: []string{"real.example", "www.real.example"}, EmbedSCTs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := map[sct.LogID]sct.SCTVerifier{l.LogID(): l.Verifier()}
+	res, err := ValidateEmbeddedSCTs(iss.Final, c.IssuerKeyHash(), vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invalid() {
+		t.Fatalf("honest real-crypto issuance flagged: %+v", res)
+	}
+
+	bad, err := c.Issue(Request{Names: []string{"real.example", "www.real.example"}, EmbedSCTs: true, Fault: FaultSANReorder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ValidateEmbeddedSCTs(bad.Final, c.IssuerKeyHash(), vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invalid() {
+		t.Fatal("real-crypto fault not detected")
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	for f, want := range map[Fault]string{
+		FaultNone:       "none",
+		FaultSANReorder: "san-reorder (GlobalSign class)",
+		FaultExtReorder: "ext-reorder (D-TRUST class)",
+		FaultSANReplace: "san-replace (NetLock class)",
+		FaultStaleSCT:   "stale-sct (TeliaSonera class)",
+	} {
+		if f.String() != want {
+			t.Errorf("Fault(%d).String() = %q", f, f.String())
+		}
+	}
+	if Fault(99).String() == "" {
+		t.Error("unknown fault must stringify")
+	}
+}
+
+func TestValidateRequiresSCTList(t *testing.T) {
+	cert := &certs.Certificate{Subject: certs.Name{CommonName: "x"}}
+	if _, err := ValidateEmbeddedSCTs(cert, [32]byte{}, nil); !errors.Is(err, certs.ErrNoSCTList) {
+		t.Fatalf("err = %v", err)
+	}
+}

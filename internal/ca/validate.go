@@ -1,0 +1,68 @@
+package ca
+
+import (
+	"fmt"
+
+	"ctrise/internal/certs"
+	"ctrise/internal/sct"
+)
+
+// SCTProblem describes one embedded SCT that fails validation — the unit
+// the paper counts in Section 3.4 ("16 certificates from 4 CAs have
+// invalid SCTs embedded").
+type SCTProblem struct {
+	// LogID is the SCT's claimed log.
+	LogID sct.LogID
+	// Reason classifies the failure.
+	Reason string
+}
+
+// ValidationResult summarizes one certificate's embedded SCT check.
+type ValidationResult struct {
+	Total    int
+	Valid    int
+	Problems []SCTProblem
+}
+
+// Invalid reports whether any embedded SCT failed.
+func (r ValidationResult) Invalid() bool { return len(r.Problems) > 0 }
+
+// ValidateEmbeddedSCTs reconstructs the precertificate TBS from a final
+// certificate (RFC 6962 Section 3.2: strip the SCT list, everything else
+// byte-identical) and verifies every embedded SCT against the issuing
+// log's verifier. verifiers maps log IDs to verifiers; SCTs from unknown
+// logs are reported as problems, since a relying party cannot validate
+// them either.
+//
+// This is the detector that, run over the paper's passive and active
+// certificate corpora, surfaced the GlobalSign, D-TRUST, NetLock and
+// TeliaSonera misissuances.
+func ValidateEmbeddedSCTs(cert *certs.Certificate, issuerKeyHash [32]byte, verifiers map[sct.LogID]sct.SCTVerifier) (ValidationResult, error) {
+	var res ValidationResult
+	scts, err := cert.SCTs()
+	if err != nil {
+		return res, err
+	}
+	tbs, err := cert.TBSForSCT()
+	if err != nil {
+		return res, err
+	}
+	entry := sct.PrecertEntry(issuerKeyHash, tbs)
+	res.Total = len(scts)
+	for _, s := range scts {
+		v, ok := verifiers[s.LogID]
+		if !ok {
+			res.Problems = append(res.Problems, SCTProblem{LogID: s.LogID, Reason: "unknown log"})
+			continue
+		}
+		if err := v.VerifySCT(s, entry); err != nil {
+			res.Problems = append(res.Problems, SCTProblem{
+				LogID:  s.LogID,
+				Reason: fmt.Sprintf("signature does not cover reconstructed TBS: %v", err),
+			})
+			continue
+		}
+		res.Valid++
+	}
+	return res, nil
+}

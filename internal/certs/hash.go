@@ -1,0 +1,5 @@
+package certs
+
+import "crypto/sha256"
+
+func sha256Sum(b []byte) [32]byte { return sha256.Sum256(b) }

@@ -1,0 +1,158 @@
+package certs
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"time"
+)
+
+// ASN.1 forms of the CT extension OIDs used by the x509 bridge.
+var (
+	oidSCTListASN1 = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 11129, 2, 4, 2}
+	oidPoisonASN1  = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 11129, 2, 4, 3}
+)
+
+// KeyPair bundles an ECDSA key with its DER-encoded SubjectPublicKeyInfo,
+// used for issuer key hashes.
+type KeyPair struct {
+	Priv *ecdsa.PrivateKey
+	SPKI []byte
+}
+
+// GenerateKeyPair creates a P-256 key pair. A nil reader uses crypto/rand.
+func GenerateKeyPair(r io.Reader) (*KeyPair, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), r)
+	if err != nil {
+		return nil, fmt.Errorf("certs: generating key: %w", err)
+	}
+	spki, err := x509.MarshalPKIXPublicKey(&priv.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("certs: marshaling SPKI: %w", err)
+	}
+	return &KeyPair{Priv: priv, SPKI: spki}, nil
+}
+
+// ToX509 renders the synthetic certificate as a real DER certificate
+// signed by issuerKey. The CT extensions (poison, SCT list) are carried
+// as extra extensions so CT-aware parsers see the genuine OIDs.
+func (c *Certificate) ToX509(issuerKey *KeyPair, subjectPub *ecdsa.PublicKey) ([]byte, error) {
+	if subjectPub == nil {
+		subjectPub = &issuerKey.Priv.PublicKey
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: new(big.Int).SetUint64(c.SerialNumber),
+		Subject: pkix.Name{
+			CommonName:   c.Subject.CommonName,
+			Organization: orgList(c.Subject.Organization),
+		},
+		NotBefore:             c.NotBefore,
+		NotAfter:              c.NotAfter,
+		DNSNames:              append([]string(nil), c.DNSNames...),
+		BasicConstraintsValid: true,
+	}
+	for _, ip := range c.IPAddresses {
+		parsed := net.ParseIP(ip)
+		if parsed == nil {
+			return nil, fmt.Errorf("certs: invalid SAN IP %q", ip)
+		}
+		tmpl.IPAddresses = append(tmpl.IPAddresses, parsed)
+	}
+	for _, e := range c.Extensions {
+		switch e.OID {
+		case OIDPoison:
+			tmpl.ExtraExtensions = append(tmpl.ExtraExtensions, pkix.Extension{
+				Id: oidPoisonASN1, Critical: true, Value: []byte{0x05, 0x00},
+			})
+		case OIDSCTList:
+			// The X.509 extension wraps the TLS-encoded list in an OCTET STRING.
+			wrapped, err := asn1.Marshal(e.Value)
+			if err != nil {
+				return nil, fmt.Errorf("certs: wrapping SCT list: %w", err)
+			}
+			tmpl.ExtraExtensions = append(tmpl.ExtraExtensions, pkix.Extension{
+				Id: oidSCTListASN1, Value: wrapped,
+			})
+		}
+	}
+	issuerTmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject: pkix.Name{
+			CommonName:   c.Issuer.CommonName,
+			Organization: orgList(c.Issuer.Organization),
+		},
+		NotBefore:             c.NotBefore.Add(-24 * time.Hour),
+		NotAfter:              c.NotAfter.Add(24 * time.Hour),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, issuerTmpl, subjectPub, issuerKey.Priv)
+	if err != nil {
+		return nil, fmt.Errorf("certs: creating certificate: %w", err)
+	}
+	return der, nil
+}
+
+func orgList(org string) []string {
+	if org == "" {
+		return nil
+	}
+	return []string{org}
+}
+
+// FromX509 converts a parsed DER certificate into the synthetic model,
+// preserving SAN order and the CT extensions.
+func FromX509(der []byte) (*Certificate, error) {
+	xc, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("certs: parsing DER: %w", err)
+	}
+	c := &Certificate{
+		SerialNumber: xc.SerialNumber.Uint64(),
+		Issuer:       Name{CommonName: xc.Issuer.CommonName, Organization: first(xc.Issuer.Organization)},
+		Subject:      Name{CommonName: xc.Subject.CommonName, Organization: first(xc.Subject.Organization)},
+		DNSNames:     append([]string(nil), xc.DNSNames...),
+		NotBefore:    xc.NotBefore.UTC(),
+		NotAfter:     xc.NotAfter.UTC(),
+	}
+	for _, ip := range xc.IPAddresses {
+		c.IPAddresses = append(c.IPAddresses, ip.String())
+	}
+	for _, ext := range xc.Extensions {
+		switch {
+		case ext.Id.Equal(oidPoisonASN1):
+			c.Extensions = append(c.Extensions, Extension{OID: OIDPoison, Critical: true, Value: append([]byte(nil), ext.Value...)})
+		case ext.Id.Equal(oidSCTListASN1):
+			var inner []byte
+			if _, err := asn1.Unmarshal(ext.Value, &inner); err != nil {
+				return nil, fmt.Errorf("certs: unwrapping SCT list: %w", err)
+			}
+			c.Extensions = append(c.Extensions, Extension{OID: OIDSCTList, Value: inner})
+		}
+	}
+	return c, nil
+}
+
+func first(s []string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	return s[0]
+}
+
+// IssuerKeyHash computes the SHA-256 hash of an issuer's DER-encoded
+// SubjectPublicKeyInfo, the value RFC 6962 places in precert entries.
+func IssuerKeyHash(spki []byte) [32]byte {
+	return sha256Sum(spki)
+}

@@ -1,0 +1,345 @@
+// Package ctclient implements an RFC 6962 log client and monitor: typed
+// wrappers over the ct/v1 HTTP API, STH signature verification, gap-free
+// entry harvesting, and a streaming mode that mimics CertStream — the
+// near-real-time feed the paper's Section 6 identifies as one way third
+// parties watch logs.
+package ctclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+// Errors returned by the client.
+var (
+	ErrHTTPStatus = errors.New("ctclient: unexpected HTTP status")
+	ErrBadBody    = errors.New("ctclient: malformed response body")
+)
+
+// Client talks to one log over HTTP.
+type Client struct {
+	// BaseURL is the log's root URL (without /ct/v1).
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Verifier, if set, is used by VerifySTH and VerifySCT.
+	Verifier sct.SCTVerifier
+}
+
+// New returns a client for the log at baseURL.
+func New(baseURL string, verifier sct.SCTVerifier) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient, Verifier: verifier}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out any) error {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s on %s", ErrHTTPStatus, resp.Status, path)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBody, err)
+	}
+	return nil
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return ctlog.ErrOverloaded
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s on %s", ErrHTTPStatus, resp.Status, path)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBody, err)
+	}
+	return nil
+}
+
+// AddChain submits a final certificate and returns the log's SCT.
+func (c *Client) AddChain(ctx context.Context, cert []byte) (*sct.SignedCertificateTimestamp, error) {
+	var resp ctlog.AddChainResponse
+	req := ctlog.AddChainRequest{Chain: []string{base64.StdEncoding.EncodeToString(cert)}}
+	if err := c.postJSON(ctx, "/ct/v1/add-chain", req, &resp); err != nil {
+		return nil, err
+	}
+	return responseToSCT(resp)
+}
+
+// AddPreChain submits a precertificate (TBS + issuer key hash).
+func (c *Client) AddPreChain(ctx context.Context, tbs []byte, issuerKeyHash [32]byte) (*sct.SignedCertificateTimestamp, error) {
+	var resp ctlog.AddChainResponse
+	req := ctlog.AddChainRequest{Chain: []string{
+		base64.StdEncoding.EncodeToString(tbs),
+		base64.StdEncoding.EncodeToString(issuerKeyHash[:]),
+	}}
+	if err := c.postJSON(ctx, "/ct/v1/add-pre-chain", req, &resp); err != nil {
+		return nil, err
+	}
+	return responseToSCT(resp)
+}
+
+func responseToSCT(resp ctlog.AddChainResponse) (*sct.SignedCertificateTimestamp, error) {
+	idBytes, err := base64.StdEncoding.DecodeString(resp.ID)
+	if err != nil || len(idBytes) != sct.LogIDSize {
+		return nil, fmt.Errorf("%w: bad log id", ErrBadBody)
+	}
+	ext, err := base64.StdEncoding.DecodeString(resp.Extensions)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad extensions", ErrBadBody)
+	}
+	sigBytes, err := base64.StdEncoding.DecodeString(resp.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad signature", ErrBadBody)
+	}
+	ds, err := sct.ParseDigitallySigned(sigBytes)
+	if err != nil {
+		return nil, err
+	}
+	out := &sct.SignedCertificateTimestamp{
+		SCTVersion: sct.Version(resp.SCTVersion),
+		Timestamp:  resp.Timestamp,
+		Extensions: ext,
+		Signature:  ds,
+	}
+	copy(out.LogID[:], idBytes)
+	return out, nil
+}
+
+// GetSTH fetches and, if a verifier is configured, cryptographically
+// verifies the latest signed tree head.
+func (c *Client) GetSTH(ctx context.Context) (ctlog.SignedTreeHead, error) {
+	var resp ctlog.GetSTHResponse
+	if err := c.getJSON(ctx, "/ct/v1/get-sth", nil, &resp); err != nil {
+		return ctlog.SignedTreeHead{}, err
+	}
+	rootBytes, err := base64.StdEncoding.DecodeString(resp.SHA256RootHash)
+	if err != nil || len(rootBytes) != merkle.HashSize {
+		return ctlog.SignedTreeHead{}, fmt.Errorf("%w: bad root hash", ErrBadBody)
+	}
+	sigBytes, err := base64.StdEncoding.DecodeString(resp.TreeHeadSignature)
+	if err != nil {
+		return ctlog.SignedTreeHead{}, fmt.Errorf("%w: bad signature", ErrBadBody)
+	}
+	ds, err := sct.ParseDigitallySigned(sigBytes)
+	if err != nil {
+		return ctlog.SignedTreeHead{}, err
+	}
+	sth := ctlog.SignedTreeHead{
+		TreeHead: sct.TreeHead{Timestamp: resp.Timestamp, TreeSize: resp.TreeSize},
+		Sig:      ds,
+	}
+	copy(sth.TreeHead.RootHash[:], rootBytes)
+	if c.Verifier != nil {
+		if err := c.Verifier.VerifyTreeHead(sth.TreeHead, sth.Sig); err != nil {
+			return ctlog.SignedTreeHead{}, err
+		}
+	}
+	return sth, nil
+}
+
+// GetEntries fetches entries [start, end] (inclusive) and parses the leaf
+// inputs.
+func (c *Client) GetEntries(ctx context.Context, start, end uint64) ([]*ctlog.Entry, error) {
+	q := url.Values{}
+	q.Set("start", fmt.Sprint(start))
+	q.Set("end", fmt.Sprint(end))
+	var resp ctlog.GetEntriesResponse
+	if err := c.getJSON(ctx, "/ct/v1/get-entries", q, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]*ctlog.Entry, 0, len(resp.Entries))
+	for i, le := range resp.Entries {
+		leaf, err := base64.StdEncoding.DecodeString(le.LeafInput)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d leaf", ErrBadBody, i)
+		}
+		e, err := ctlog.ParseMerkleTreeLeaf(leaf)
+		if err != nil {
+			return nil, err
+		}
+		e.Index = start + uint64(i)
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// GetConsistencyProof fetches the consistency proof between two sizes.
+func (c *Client) GetConsistencyProof(ctx context.Context, first, second uint64) ([]merkle.Hash, error) {
+	q := url.Values{}
+	q.Set("first", fmt.Sprint(first))
+	q.Set("second", fmt.Sprint(second))
+	var resp ctlog.GetSTHConsistencyResponse
+	if err := c.getJSON(ctx, "/ct/v1/get-sth-consistency", q, &resp); err != nil {
+		return nil, err
+	}
+	return decodeHashes(resp.Consistency)
+}
+
+// GetProofByHash fetches the inclusion proof for a leaf hash.
+func (c *Client) GetProofByHash(ctx context.Context, leafHash merkle.Hash, treeSize uint64) (uint64, []merkle.Hash, error) {
+	q := url.Values{}
+	q.Set("hash", base64.StdEncoding.EncodeToString(leafHash[:]))
+	q.Set("tree_size", fmt.Sprint(treeSize))
+	var resp ctlog.GetProofByHashResponse
+	if err := c.getJSON(ctx, "/ct/v1/get-proof-by-hash", q, &resp); err != nil {
+		return 0, nil, err
+	}
+	proof, err := decodeHashes(resp.AuditPath)
+	return resp.LeafIndex, proof, err
+}
+
+func decodeHashes(in []string) ([]merkle.Hash, error) {
+	out := make([]merkle.Hash, len(in))
+	for i, s := range in {
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil || len(b) != merkle.HashSize {
+			return nil, fmt.Errorf("%w: hash %d", ErrBadBody, i)
+		}
+		copy(out[i][:], b)
+	}
+	return out, nil
+}
+
+// VerifyInclusion proves that entry is included in the tree described by
+// sth, fetching the audit path from the log.
+func (c *Client) VerifyInclusion(ctx context.Context, entry *ctlog.Entry, sth ctlog.SignedTreeHead) error {
+	leafHash, err := entry.LeafHash()
+	if err != nil {
+		return err
+	}
+	index, proof, err := c.GetProofByHash(ctx, leafHash, sth.TreeHead.TreeSize)
+	if err != nil {
+		return err
+	}
+	return merkle.VerifyInclusion(leafHash, index, sth.TreeHead.TreeSize, proof, merkle.Hash(sth.TreeHead.RootHash))
+}
+
+// Monitor tails a log, fetching new entries as the STH advances, and
+// checks consistency between successive tree heads. It is the building
+// block for both the Section 2 harvester and the Section 6 attacker
+// agents.
+type Monitor struct {
+	Client *Client
+	// Batch caps the entries requested per get-entries call.
+	Batch uint64
+
+	lastSTH *ctlog.SignedTreeHead
+	nextIdx uint64
+	entries uint64
+}
+
+// NewMonitor returns a monitor starting from index 0.
+func NewMonitor(client *Client) *Monitor {
+	return &Monitor{Client: client, Batch: 256}
+}
+
+// EntriesSeen reports how many entries the monitor has consumed.
+func (m *Monitor) EntriesSeen() uint64 { return m.entries }
+
+// Poll fetches the current STH and streams any new entries to fn in order.
+// When a previous STH exists, the monitor verifies log consistency before
+// consuming new entries, so a forked log is detected rather than followed.
+func (m *Monitor) Poll(ctx context.Context, fn func(*ctlog.Entry) error) error {
+	sth, err := m.Client.GetSTH(ctx)
+	if err != nil {
+		return err
+	}
+	if m.lastSTH != nil && sth.TreeHead.TreeSize > m.lastSTH.TreeHead.TreeSize {
+		proof, err := m.Client.GetConsistencyProof(ctx, m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize)
+		if err != nil {
+			return err
+		}
+		if m.lastSTH.TreeHead.TreeSize > 0 {
+			if err := merkle.VerifyConsistency(
+				m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize,
+				merkle.Hash(m.lastSTH.TreeHead.RootHash), merkle.Hash(sth.TreeHead.RootHash),
+				proof,
+			); err != nil {
+				return fmt.Errorf("ctclient: log fork detected: %w", err)
+			}
+		}
+	}
+	for m.nextIdx < sth.TreeHead.TreeSize {
+		end := m.nextIdx + m.Batch - 1
+		if end >= sth.TreeHead.TreeSize {
+			end = sth.TreeHead.TreeSize - 1
+		}
+		batch, err := m.Client.GetEntries(ctx, m.nextIdx, end)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			return fmt.Errorf("%w: empty batch at %d", ErrBadBody, m.nextIdx)
+		}
+		for _, e := range batch {
+			if err := fn(e); err != nil {
+				return err
+			}
+			m.nextIdx = e.Index + 1
+			m.entries++
+		}
+	}
+	m.lastSTH = &sth
+	return nil
+}
+
+// Stream polls the log every interval until ctx is done, delivering new
+// entries to fn. This is the CertStream-like near-real-time mode.
+func (m *Monitor) Stream(ctx context.Context, interval time.Duration, fn func(*ctlog.Entry) error) error {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if err := m.Poll(ctx, fn); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

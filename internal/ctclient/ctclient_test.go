@@ -1,0 +1,298 @@
+package ctclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/sct"
+)
+
+type fixedReader struct{ rng *rand.Rand }
+
+func (f *fixedReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(f.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+type env struct {
+	log    *ctlog.Log
+	server *httptest.Server
+	client *Client
+	now    time.Time
+}
+
+func newEnv(t *testing.T, cfg ctlog.Config) *env {
+	t.Helper()
+	e := &env{now: time.Date(2018, 4, 12, 14, 0, 0, 0, time.UTC)}
+	signer, err := sct.NewSigner(&fixedReader{rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Signer = signer
+	cfg.Clock = func() time.Time { return e.now }
+	if cfg.Name == "" {
+		cfg.Name = "itest log"
+	}
+	l, err := ctlog.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.log = l
+	e.server = httptest.NewServer(l.Handler())
+	t.Cleanup(e.server.Close)
+	e.client = New(e.server.URL, l.Verifier())
+	return e
+}
+
+func TestAddChainOverHTTP(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	cert := []byte("der bytes over the wire")
+	s, err := e.client.AddChain(context.Background(), cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.log.Verifier().VerifySCT(s, sct.X509Entry(cert)); err != nil {
+		t.Fatalf("SCT from HTTP does not verify: %v", err)
+	}
+	if s.LogID != e.log.LogID() {
+		t.Fatal("log ID mismatch")
+	}
+}
+
+func TestAddPreChainOverHTTP(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	var ikh [32]byte
+	ikh[5] = 0x55
+	tbs := []byte("precert tbs")
+	s, err := e.client.AddPreChain(context.Background(), tbs, ikh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.log.Verifier().VerifySCT(s, sct.PrecertEntry(ikh, tbs)); err != nil {
+		t.Fatalf("precert SCT does not verify: %v", err)
+	}
+}
+
+func TestGetSTHVerifies(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	if _, err := e.client.AddChain(context.Background(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	e.now = e.now.Add(time.Minute)
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	sth, err := e.client.GetSTH(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sth.TreeHead.TreeSize != 1 {
+		t.Fatalf("size = %d", sth.TreeHead.TreeSize)
+	}
+}
+
+func TestGetEntriesAndInclusion(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("cert-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	sth, err := e.client.GetSTH(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := e.client.GetEntries(ctx, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for _, entry := range entries {
+		if err := e.client.VerifyInclusion(ctx, entry, sth); err != nil {
+			t.Fatalf("inclusion for %d: %v", entry.Index, err)
+		}
+	}
+	// SCT-over-entry verification: the log's signature covers the entry.
+	if string(entries[3].Cert) != "cert-3" {
+		t.Fatalf("entry 3 cert = %q", entries[3].Cert)
+	}
+}
+
+func TestOverloadedSurfacesAsErrOverloaded(t *testing.T) {
+	e := newEnv(t, ctlog.Config{CapacityPerSecond: 1})
+	ctx := context.Background()
+	if _, err := e.client.AddChain(ctx, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.client.AddChain(ctx, []byte("b")); !errors.Is(err, ctlog.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestMonitorFollowsLog(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx := context.Background()
+	mon := NewMonitor(e.client)
+	mon.Batch = 3
+
+	var seen []string
+	collect := func(entry *ctlog.Entry) error {
+		seen = append(seen, string(entry.Cert))
+		return nil
+	}
+
+	// Round 1: 5 entries.
+	for i := 0; i < 5; i++ {
+		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("r1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Poll(ctx, collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 || seen[0] != "r1-0" || seen[4] != "r1-4" {
+		t.Fatalf("seen = %v", seen)
+	}
+
+	// Round 2: 4 more; the monitor must verify consistency and resume.
+	for i := 0; i < 4; i++ {
+		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("r2-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.now = e.now.Add(time.Minute)
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Poll(ctx, collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 9 || seen[5] != "r2-0" {
+		t.Fatalf("after round 2 seen = %v", seen)
+	}
+	if mon.EntriesSeen() != 9 {
+		t.Fatalf("EntriesSeen = %d", mon.EntriesSeen())
+	}
+
+	// Idle poll: no new entries, no error.
+	if err := mon.Poll(ctx, collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 9 {
+		t.Fatalf("idle poll changed seen to %d", len(seen))
+	}
+}
+
+func TestMonitorCallbackErrorPropagates(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx := context.Background()
+	if _, err := e.client.AddChain(ctx, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(e.client)
+	wantErr := errors.New("sink full")
+	err := mon.Poll(ctx, func(*ctlog.Entry) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStreamDeliversUntilCancel(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := e.client.AddChain(ctx, []byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(e.client)
+	got := make(chan string, 10)
+	go func() {
+		_ = mon.Stream(ctx, time.Millisecond, func(entry *ctlog.Entry) error {
+			got <- string(entry.Cert)
+			return nil
+		})
+	}()
+	select {
+	case s := <-got:
+		if s != "s1" {
+			t.Fatalf("streamed %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream delivered nothing")
+	}
+	// Add an entry while streaming.
+	if _, err := e.client.AddChain(ctx, []byte("s2")); err != nil {
+		t.Fatal(err)
+	}
+	e.now = e.now.Add(time.Second)
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "s2" {
+			t.Fatalf("streamed %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream missed live entry")
+	}
+	cancel()
+}
+
+func TestGetConsistencyProofHTTP(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := e.client.AddChain(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	proof, err := e.client.GetConsistencyProof(ctx, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) == 0 {
+		t.Fatal("empty proof for 2->4")
+	}
+	// Bad ranges surface as HTTP errors.
+	if _, err := e.client.GetConsistencyProof(ctx, 4, 99); err == nil {
+		t.Fatal("expected error for out-of-range consistency")
+	}
+}
+
+func TestBadQueryParameters(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx := context.Background()
+	if _, err := e.client.GetEntries(ctx, 5, 2); err == nil {
+		t.Fatal("expected error for reversed range")
+	}
+	if _, _, err := e.client.GetProofByHash(ctx, [32]byte{1}, 0); err == nil {
+		t.Fatal("expected error for zero tree size")
+	}
+}

@@ -1,0 +1,243 @@
+package ctlog
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+// JSON wire types for the ct/v1 API (RFC 6962 Section 4). Field names
+// match the RFC exactly so third-party clients interoperate.
+
+// AddChainRequest is the body of add-chain and add-pre-chain. For
+// add-pre-chain in this implementation, chain[0] is the defanged TBS and
+// chain[1] is the issuer key hash (32 bytes); real logs derive the key
+// hash from the submitted issuer certificate.
+type AddChainRequest struct {
+	Chain []string `json:"chain"`
+}
+
+// AddChainResponse is the SCT returned by add-chain / add-pre-chain.
+type AddChainResponse struct {
+	SCTVersion uint8  `json:"sct_version"`
+	ID         string `json:"id"`
+	Timestamp  uint64 `json:"timestamp"`
+	Extensions string `json:"extensions"`
+	Signature  string `json:"signature"`
+}
+
+// GetSTHResponse is the get-sth response.
+type GetSTHResponse struct {
+	TreeSize          uint64 `json:"tree_size"`
+	Timestamp         uint64 `json:"timestamp"`
+	SHA256RootHash    string `json:"sha256_root_hash"`
+	TreeHeadSignature string `json:"tree_head_signature"`
+}
+
+// GetSTHConsistencyResponse is the get-sth-consistency response.
+type GetSTHConsistencyResponse struct {
+	Consistency []string `json:"consistency"`
+}
+
+// GetProofByHashResponse is the get-proof-by-hash response.
+type GetProofByHashResponse struct {
+	LeafIndex uint64   `json:"leaf_index"`
+	AuditPath []string `json:"audit_path"`
+}
+
+// LeafEntry is one element of get-entries.
+type LeafEntry struct {
+	LeafInput string `json:"leaf_input"`
+	ExtraData string `json:"extra_data"`
+}
+
+// GetEntriesResponse is the get-entries response.
+type GetEntriesResponse struct {
+	Entries []LeafEntry `json:"entries"`
+}
+
+// Handler returns an http.Handler serving the ct/v1 API for the log.
+func (l *Log) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ct/v1/add-chain", l.handleAddChain)
+	mux.HandleFunc("POST /ct/v1/add-pre-chain", l.handleAddPreChain)
+	mux.HandleFunc("GET /ct/v1/get-sth", l.handleGetSTH)
+	mux.HandleFunc("GET /ct/v1/get-sth-consistency", l.handleGetSTHConsistency)
+	mux.HandleFunc("GET /ct/v1/get-proof-by-hash", l.handleGetProofByHash)
+	mux.HandleFunc("GET /ct/v1/get-entries", l.handleGetEntries)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the connection will just break.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrBadRange), errors.Is(err, merkle.ErrSizeOutOfRange),
+		errors.Is(err, merkle.ErrIndexOutOfRange), errors.Is(err, merkle.ErrEmptyRange):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (l *Log) handleAddChain(w http.ResponseWriter, r *http.Request) {
+	var req AddChainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Chain) == 0 {
+		http.Error(w, "ctlog: bad add-chain body", http.StatusBadRequest)
+		return
+	}
+	cert, err := base64.StdEncoding.DecodeString(req.Chain[0])
+	if err != nil {
+		http.Error(w, "ctlog: bad base64 in chain", http.StatusBadRequest)
+		return
+	}
+	s, err := l.AddChain(cert)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, sctToResponse(s))
+}
+
+func (l *Log) handleAddPreChain(w http.ResponseWriter, r *http.Request) {
+	var req AddChainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Chain) < 2 {
+		http.Error(w, "ctlog: bad add-pre-chain body (need [tbs, issuerKeyHash])", http.StatusBadRequest)
+		return
+	}
+	tbs, err := base64.StdEncoding.DecodeString(req.Chain[0])
+	if err != nil {
+		http.Error(w, "ctlog: bad base64 tbs", http.StatusBadRequest)
+		return
+	}
+	ikhBytes, err := base64.StdEncoding.DecodeString(req.Chain[1])
+	if err != nil || len(ikhBytes) != 32 {
+		http.Error(w, "ctlog: bad issuer key hash", http.StatusBadRequest)
+		return
+	}
+	var ikh [32]byte
+	copy(ikh[:], ikhBytes)
+	s, err := l.AddPreChain(ikh, tbs)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, sctToResponse(s))
+}
+
+func sctToResponse(s *sct.SignedCertificateTimestamp) AddChainResponse {
+	sig, err := s.Signature.Serialize()
+	if err != nil {
+		// The signature was produced locally and always fits; a failure
+		// here indicates memory corruption, so fail loudly.
+		panic(err)
+	}
+	return AddChainResponse{
+		SCTVersion: uint8(s.SCTVersion),
+		ID:         base64.StdEncoding.EncodeToString(s.LogID[:]),
+		Timestamp:  s.Timestamp,
+		Extensions: base64.StdEncoding.EncodeToString(s.Extensions),
+		Signature:  base64.StdEncoding.EncodeToString(sig),
+	}
+}
+
+func (l *Log) handleGetSTH(w http.ResponseWriter, _ *http.Request) {
+	sth := l.STH()
+	sig, err := sth.Sig.Serialize()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, GetSTHResponse{
+		TreeSize:          sth.TreeHead.TreeSize,
+		Timestamp:         sth.TreeHead.Timestamp,
+		SHA256RootHash:    base64.StdEncoding.EncodeToString(sth.TreeHead.RootHash[:]),
+		TreeHeadSignature: base64.StdEncoding.EncodeToString(sig),
+	})
+}
+
+func (l *Log) handleGetSTHConsistency(w http.ResponseWriter, r *http.Request) {
+	first, err1 := strconv.ParseUint(r.URL.Query().Get("first"), 10, 64)
+	second, err2 := strconv.ParseUint(r.URL.Query().Get("second"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "ctlog: bad first/second", http.StatusBadRequest)
+		return
+	}
+	proof, err := l.GetConsistencyProof(first, second)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, GetSTHConsistencyResponse{Consistency: encodeHashes(proof)})
+}
+
+func (l *Log) handleGetProofByHash(w http.ResponseWriter, r *http.Request) {
+	hashB64 := r.URL.Query().Get("hash")
+	treeSize, err := strconv.ParseUint(r.URL.Query().Get("tree_size"), 10, 64)
+	if err != nil {
+		http.Error(w, "ctlog: bad tree_size", http.StatusBadRequest)
+		return
+	}
+	hashBytes, err := base64.StdEncoding.DecodeString(hashB64)
+	if err != nil || len(hashBytes) != merkle.HashSize {
+		http.Error(w, "ctlog: bad hash", http.StatusBadRequest)
+		return
+	}
+	var h merkle.Hash
+	copy(h[:], hashBytes)
+	index, proof, err := l.GetProofByHash(h, treeSize)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, GetProofByHashResponse{LeafIndex: index, AuditPath: encodeHashes(proof)})
+}
+
+func (l *Log) handleGetEntries(w http.ResponseWriter, r *http.Request) {
+	start, err1 := strconv.ParseUint(r.URL.Query().Get("start"), 10, 64)
+	end, err2 := strconv.ParseUint(r.URL.Query().Get("end"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "ctlog: bad start/end", http.StatusBadRequest)
+		return
+	}
+	entries, err := l.GetEntries(start, end)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	resp := GetEntriesResponse{Entries: make([]LeafEntry, 0, len(entries))}
+	for _, e := range entries {
+		leaf, err := e.MerkleTreeLeaf()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		resp.Entries = append(resp.Entries, LeafEntry{
+			LeafInput: base64.StdEncoding.EncodeToString(leaf),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func encodeHashes(hs []merkle.Hash) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = base64.StdEncoding.EncodeToString(h[:])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package ctlog
+
+import (
+	"fmt"
+
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+	"ctrise/internal/tlsenc"
+)
+
+// MerkleLeafType per RFC 6962 Section 3.4. Only timestamped_entry exists.
+const timestampedEntryLeafType = 0
+
+// Entry is one sequenced log entry.
+type Entry struct {
+	// Index is the entry's position in the log.
+	Index uint64
+	// Timestamp is the SCT timestamp in milliseconds since the epoch.
+	Timestamp uint64
+	// Type distinguishes x509_entry from precert_entry.
+	Type sct.LogEntryType
+	// Cert holds the certificate bytes for x509 entries and the defanged
+	// TBS bytes for precert entries (RFC 6962 stores the TBS in the leaf).
+	Cert []byte
+	// IssuerKeyHash is set for precert entries.
+	IssuerKeyHash [32]byte
+	// Extensions are the SCT extensions covered by the leaf.
+	Extensions []byte
+}
+
+// MerkleTreeLeaf returns the RFC 6962 Section 3.4 leaf encoding:
+//
+//	struct {
+//	    Version version;              // v1(0)
+//	    MerkleLeafType leaf_type;     // timestamped_entry(0)
+//	    TimestampedEntry timestamped_entry;
+//	}
+func (e *Entry) MerkleTreeLeaf() ([]byte, error) {
+	b := tlsenc.NewBuilder(64 + len(e.Cert))
+	b.AddUint8(uint8(sct.V1))
+	b.AddUint8(timestampedEntryLeafType)
+	b.AddUint64(e.Timestamp)
+	b.AddUint16(uint16(e.Type))
+	switch e.Type {
+	case sct.X509LogEntryType:
+		b.AddUint24Vector(e.Cert)
+	case sct.PrecertLogEntryType:
+		b.AddBytes(e.IssuerKeyHash[:])
+		b.AddUint24Vector(e.Cert)
+	default:
+		return nil, fmt.Errorf("ctlog: unknown entry type %d", e.Type)
+	}
+	b.AddUint16Vector(e.Extensions)
+	return b.Bytes()
+}
+
+// LeafHash returns the Merkle leaf hash of the entry.
+func (e *Entry) LeafHash() (merkle.Hash, error) {
+	leaf, err := e.MerkleTreeLeaf()
+	if err != nil {
+		return merkle.Hash{}, err
+	}
+	return merkle.HashLeaf(leaf), nil
+}
+
+// ParseMerkleTreeLeaf decodes a leaf_input back into an Entry (without an
+// index, which get-entries conveys positionally).
+func ParseMerkleTreeLeaf(data []byte) (*Entry, error) {
+	r := tlsenc.NewReader(data)
+	version := r.Uint8()
+	leafType := r.Uint8()
+	var e Entry
+	e.Timestamp = r.Uint64()
+	e.Type = sct.LogEntryType(r.Uint16())
+	switch e.Type {
+	case sct.X509LogEntryType:
+		e.Cert = r.Uint24Vector()
+	case sct.PrecertLogEntryType:
+		copy(e.IssuerKeyHash[:], r.Bytes(32))
+		e.Cert = r.Uint24Vector()
+	default:
+		if r.Err() == nil {
+			return nil, fmt.Errorf("ctlog: unknown entry type %d", e.Type)
+		}
+	}
+	e.Extensions = r.Uint16Vector()
+	if err := r.ExpectEmpty(); err != nil {
+		return nil, fmt.Errorf("ctlog: malformed leaf: %w", err)
+	}
+	if version != uint8(sct.V1) {
+		return nil, fmt.Errorf("ctlog: unsupported leaf version %d", version)
+	}
+	if leafType != timestampedEntryLeafType {
+		return nil, fmt.Errorf("ctlog: unsupported leaf type %d", leafType)
+	}
+	return &e, nil
+}
+
+// SignatureEntry converts the log entry into the structure an SCT
+// signature covers, for verification by monitors.
+func (e *Entry) SignatureEntry() sct.CertificateEntry {
+	if e.Type == sct.PrecertLogEntryType {
+		return sct.PrecertEntry(e.IssuerKeyHash, e.Cert)
+	}
+	return sct.X509Entry(e.Cert)
+}

@@ -1,0 +1,322 @@
+// Package ctlog implements an RFC 6962 Certificate Transparency log: an
+// append-only Merkle tree over submitted (pre)certificates, SCT issuance,
+// signed tree heads, inclusion and consistency proofs, and the ct/v1 HTTP
+// API. It is the substrate on which the paper's Section 2 (log evolution),
+// Section 3 (SCT deployment), and Section 6 (honeypot leakage channel)
+// experiments run.
+//
+// The log uses a caller-supplied clock so experiments replay the paper's
+// 2017–2018 timeline deterministically, and an optional capacity limit so
+// overload behaviour (the Nimbus incident discussed in Section 2 and the
+// mass-submission risk of Section 3.4) can be reproduced.
+package ctlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+// Errors returned by the log.
+var (
+	// ErrOverloaded is returned when submissions exceed the log's capacity,
+	// modeling the Nimbus performance incident.
+	ErrOverloaded = errors.New("ctlog: log overloaded, submission rejected")
+	// ErrNotFound is returned for unknown leaf hashes.
+	ErrNotFound = errors.New("ctlog: leaf hash not found")
+	// ErrBadRange is returned for invalid get-entries/proof parameters.
+	ErrBadRange = errors.New("ctlog: invalid range")
+)
+
+// Config configures a log instance.
+type Config struct {
+	// Name is the log's display name, e.g. "Google Pilot log".
+	Name string
+	// Operator is the organization running the log, e.g. "Google".
+	Operator string
+	// Signer issues SCTs and tree head signatures. Required. Use
+	// *sct.Signer for cryptographic logs or *sct.FastSigner for
+	// bulk-simulation logs.
+	Signer sct.LogSigner
+	// Clock supplies the log's notion of now. Defaults to time.Now.
+	// Experiments install a virtual clock.
+	Clock func() time.Time
+	// MMD is the maximum merge delay. Entries are guaranteed to be
+	// integrated into a published STH within MMD of their SCT timestamp.
+	// Defaults to 24h.
+	MMD time.Duration
+	// MaxGetEntries caps the number of entries returned by one get-entries
+	// call, like production logs do. Defaults to 1000.
+	MaxGetEntries int
+	// CapacityPerSecond, if positive, limits sustained submissions per
+	// second; excess submissions fail with ErrOverloaded.
+	CapacityPerSecond float64
+	// ChromeInclusionDate records when the log was accepted into Chrome's
+	// log list (Table 1 annotates logs with it). Informational.
+	ChromeInclusionDate time.Time
+}
+
+// SignedTreeHead is an STH: a tree head plus the log's signature over it.
+type SignedTreeHead struct {
+	TreeHead sct.TreeHead
+	Sig      sct.DigitallySigned
+}
+
+// Log is an in-memory RFC 6962 log. All methods are safe for concurrent
+// use.
+type Log struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tree    *merkle.Tree
+	entries []*Entry
+	// dedupe maps cert-identity hash -> entry index, so resubmitting the
+	// same (pre)certificate returns the original SCT (like real logs).
+	dedupe map[merkle.Hash]uint64
+	// byLeafHash maps Merkle leaf hash -> entry index for get-proof-by-hash.
+	byLeafHash map[merkle.Hash]uint64
+	// published is the latest signed tree head; it may trail the tree by
+	// up to MMD.
+	published SignedTreeHead
+	// bucket implements a token bucket for CapacityPerSecond.
+	bucketTokens float64
+	bucketAt     time.Time
+	// stats
+	rejected uint64
+}
+
+// New creates a log and publishes the empty-tree STH.
+func New(cfg Config) (*Log, error) {
+	if cfg.Signer == nil {
+		return nil, errors.New("ctlog: Config.Signer is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.MMD <= 0 {
+		cfg.MMD = 24 * time.Hour
+	}
+	if cfg.MaxGetEntries <= 0 {
+		cfg.MaxGetEntries = 1000
+	}
+	l := &Log{
+		cfg:        cfg,
+		tree:       merkle.New(),
+		dedupe:     make(map[merkle.Hash]uint64),
+		byLeafHash: make(map[merkle.Hash]uint64),
+	}
+	l.bucketAt = cfg.Clock()
+	l.bucketTokens = cfg.CapacityPerSecond
+	if err := l.publishLocked(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Name returns the log's display name.
+func (l *Log) Name() string { return l.cfg.Name }
+
+// Operator returns the log operator.
+func (l *Log) Operator() string { return l.cfg.Operator }
+
+// LogID returns the log's RFC 6962 ID.
+func (l *Log) LogID() sct.LogID { return l.cfg.Signer.LogID() }
+
+// Verifier returns a verifier for this log's signatures.
+func (l *Log) Verifier() sct.SCTVerifier { return l.cfg.Signer.Verifier() }
+
+// ChromeInclusionDate returns when the log joined Chrome's list.
+func (l *Log) ChromeInclusionDate() time.Time { return l.cfg.ChromeInclusionDate }
+
+// Rejected returns the number of submissions rejected due to overload.
+func (l *Log) Rejected() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.rejected
+}
+
+// AddChain submits a final certificate (x509_entry) and returns its SCT.
+func (l *Log) AddChain(cert []byte) (*sct.SignedCertificateTimestamp, error) {
+	return l.add(sct.X509Entry(cert))
+}
+
+// AddPreChain submits a precertificate (precert_entry: issuer key hash +
+// defanged TBS) and returns its SCT, which the CA embeds in the final
+// certificate.
+func (l *Log) AddPreChain(issuerKeyHash [32]byte, tbs []byte) (*sct.SignedCertificateTimestamp, error) {
+	return l.add(sct.PrecertEntry(issuerKeyHash, tbs))
+}
+
+func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, error) {
+	now := l.cfg.Clock()
+	ts := uint64(now.UnixMilli())
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Deduplicate on the entry identity (type + content), not the leaf
+	// (which would include the new timestamp).
+	idHash := entryIdentity(ce)
+	if idx, ok := l.dedupe[idHash]; ok {
+		e := l.entries[idx]
+		return l.cfg.Signer.CreateSCT(e.Timestamp, e.SignatureEntry())
+	}
+
+	if !l.takeTokenLocked(now) {
+		l.rejected++
+		return nil, ErrOverloaded
+	}
+
+	e := &Entry{
+		Index:     uint64(len(l.entries)),
+		Timestamp: ts,
+		Type:      ce.Type,
+	}
+	if ce.Type == sct.PrecertLogEntryType {
+		e.IssuerKeyHash = ce.IssuerKeyHash
+		e.Cert = ce.TBS
+	} else {
+		e.Cert = ce.Cert
+	}
+	s, err := l.cfg.Signer.CreateSCT(ts, ce)
+	if err != nil {
+		return nil, err
+	}
+	leafHash, err := e.LeafHash()
+	if err != nil {
+		return nil, err
+	}
+	l.tree.AppendLeafHash(leafHash)
+	l.entries = append(l.entries, e)
+	l.dedupe[idHash] = e.Index
+	l.byLeafHash[leafHash] = e.Index
+	return s, nil
+}
+
+// entryIdentity hashes the content identity of a submission for dedupe.
+func entryIdentity(ce sct.CertificateEntry) merkle.Hash {
+	var tag [1]byte
+	tag[0] = byte(ce.Type)
+	payload := ce.Cert
+	if ce.Type == sct.PrecertLogEntryType {
+		payload = append(append([]byte{}, ce.IssuerKeyHash[:]...), ce.TBS...)
+	}
+	return merkle.HashLeaf(append(tag[:], payload...))
+}
+
+// takeTokenLocked enforces CapacityPerSecond with a token bucket refilled
+// by the virtual clock. Burst capacity equals one second of tokens.
+func (l *Log) takeTokenLocked(now time.Time) bool {
+	if l.cfg.CapacityPerSecond <= 0 {
+		return true
+	}
+	elapsed := now.Sub(l.bucketAt).Seconds()
+	if elapsed > 0 {
+		l.bucketTokens += elapsed * l.cfg.CapacityPerSecond
+		if l.bucketTokens > l.cfg.CapacityPerSecond {
+			l.bucketTokens = l.cfg.CapacityPerSecond
+		}
+		l.bucketAt = now
+	}
+	if l.bucketTokens < 1 {
+		return false
+	}
+	l.bucketTokens--
+	return true
+}
+
+// TreeSize returns the current (unpublished) tree size.
+func (l *Log) TreeSize() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.Size()
+}
+
+// PublishSTH signs and publishes a tree head over the current tree. Real
+// logs do this periodically within the MMD; experiments call it at batch
+// boundaries of the virtual clock.
+func (l *Log) PublishSTH() (SignedTreeHead, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.publishLocked(); err != nil {
+		return SignedTreeHead{}, err
+	}
+	return l.published, nil
+}
+
+func (l *Log) publishLocked() error {
+	th := sct.TreeHead{
+		Timestamp: uint64(l.cfg.Clock().UnixMilli()),
+		TreeSize:  l.tree.Size(),
+		RootHash:  [32]byte(l.tree.Root()),
+	}
+	sig, err := l.cfg.Signer.SignTreeHead(th)
+	if err != nil {
+		return fmt.Errorf("ctlog: signing STH: %w", err)
+	}
+	l.published = SignedTreeHead{TreeHead: th, Sig: sig}
+	return nil
+}
+
+// STH returns the latest published signed tree head.
+func (l *Log) STH() SignedTreeHead {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.published
+}
+
+// GetEntries returns entries [start, end] (inclusive, like the RFC API),
+// truncated to MaxGetEntries and to the published tree size.
+func (l *Log) GetEntries(start, end uint64) ([]*Entry, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	size := l.published.TreeHead.TreeSize
+	if start > end || start >= size {
+		return nil, fmt.Errorf("%w: start=%d end=%d size=%d", ErrBadRange, start, end, size)
+	}
+	if end >= size {
+		end = size - 1
+	}
+	if n := end - start + 1; n > uint64(l.cfg.MaxGetEntries) {
+		end = start + uint64(l.cfg.MaxGetEntries) - 1
+	}
+	out := make([]*Entry, 0, end-start+1)
+	for i := start; i <= end; i++ {
+		out = append(out, l.entries[i])
+	}
+	return out, nil
+}
+
+// GetProofByHash returns the inclusion proof and index for a leaf hash at
+// the given tree size.
+func (l *Log) GetProofByHash(leafHash merkle.Hash, treeSize uint64) (uint64, []merkle.Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	idx, ok := l.byLeafHash[leafHash]
+	if !ok {
+		return 0, nil, ErrNotFound
+	}
+	if idx >= treeSize {
+		return 0, nil, fmt.Errorf("%w: leaf %d not in tree of size %d", ErrBadRange, idx, treeSize)
+	}
+	proof, err := l.tree.InclusionProof(idx, treeSize)
+	return idx, proof, err
+}
+
+// GetConsistencyProof returns the proof between two published tree sizes.
+func (l *Log) GetConsistencyProof(first, second uint64) ([]merkle.Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.ConsistencyProof(first, second)
+}
+
+// GetInclusionProof returns the proof for an entry index at a tree size.
+func (l *Log) GetInclusionProof(index, treeSize uint64) ([]merkle.Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.InclusionProof(index, treeSize)
+}

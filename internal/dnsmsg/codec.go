@@ -1,0 +1,473 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// Pack encodes the message into wire format. Names are encoded without
+// compression (legal per RFC 1035; decoders must still handle pointers,
+// which Unpack does).
+func (m *Message) Pack() ([]byte, error) {
+	buf := make([]byte, 0, 512)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode) & 0xf
+
+	additionals := m.Additionals
+	if m.EDNS != nil {
+		opt, err := m.EDNS.record()
+		if err != nil {
+			return nil, err
+		}
+		additionals = append(append([]Record(nil), additionals...), opt)
+	}
+
+	buf = binary.BigEndian.AppendUint16(buf, m.ID)
+	buf = binary.BigEndian.AppendUint16(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Questions)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Answers)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authorities)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(additionals)))
+
+	var err error
+	for _, q := range m.Questions {
+		buf, err = appendName(buf, q.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authorities, additionals} {
+		for _, rr := range sec {
+			buf, err = appendRecord(buf, rr)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendName(buf []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name) > 253 {
+		return nil, fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrMalformed, label)
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+func appendRecord(buf []byte, rr Record) ([]byte, error) {
+	var err error
+	buf, err = appendName(buf, rr.Name)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+
+	body, err := rr.body()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0xffff {
+		return nil, fmt.Errorf("%w: rdata too long", ErrMalformed)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(body)))
+	return append(buf, body...), nil
+}
+
+func (rr Record) body() ([]byte, error) {
+	switch rr.Type {
+	case TypeA:
+		ip4 := rr.A.To4()
+		if ip4 == nil {
+			return nil, fmt.Errorf("%w: bad A address %v", ErrMalformed, rr.A)
+		}
+		return ip4, nil
+	case TypeAAAA:
+		ip16 := rr.AAAA.To16()
+		if ip16 == nil {
+			return nil, fmt.Errorf("%w: bad AAAA address %v", ErrMalformed, rr.AAAA)
+		}
+		return ip16, nil
+	case TypeCNAME, TypeNS:
+		return appendName(nil, rr.Target)
+	case TypeMX:
+		body := binary.BigEndian.AppendUint16(nil, rr.MX.Preference)
+		return appendName(body, rr.MX.Host)
+	case TypeSOA:
+		body, err := appendName(nil, rr.SOA.MName)
+		if err != nil {
+			return nil, err
+		}
+		body, err = appendName(body, rr.SOA.RName)
+		if err != nil {
+			return nil, err
+		}
+		body = binary.BigEndian.AppendUint32(body, rr.SOA.Serial)
+		body = binary.BigEndian.AppendUint32(body, rr.SOA.Refresh)
+		body = binary.BigEndian.AppendUint32(body, rr.SOA.Retry)
+		body = binary.BigEndian.AppendUint32(body, rr.SOA.Expire)
+		body = binary.BigEndian.AppendUint32(body, rr.SOA.Minimum)
+		return body, nil
+	case TypeTXT:
+		var body []byte
+		for _, s := range rr.TXT {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("%w: TXT string too long", ErrMalformed)
+			}
+			body = append(body, byte(len(s)))
+			body = append(body, s...)
+		}
+		return body, nil
+	default:
+		return rr.Raw, nil
+	}
+}
+
+// EDNS option codes.
+const optClientSubnet = 8
+
+func (e *EDNS) record() (Record, error) {
+	udp := e.UDPSize
+	if udp == 0 {
+		udp = 4096
+	}
+	var raw []byte
+	if cs := e.ClientSubnet; cs != nil {
+		addrBytes, err := cs.addressBytes()
+		if err != nil {
+			return Record{}, err
+		}
+		opt := binary.BigEndian.AppendUint16(nil, optClientSubnet)
+		opt = binary.BigEndian.AppendUint16(opt, uint16(4+len(addrBytes)))
+		opt = binary.BigEndian.AppendUint16(opt, cs.Family)
+		opt = append(opt, cs.SourcePrefix, cs.ScopePrefix)
+		opt = append(opt, addrBytes...)
+		raw = opt
+	}
+	return Record{
+		Name:  "",
+		Type:  TypeOPT,
+		Class: Class(udp), // OPT overloads class as UDP payload size
+		Raw:   raw,
+	}, nil
+}
+
+func (cs *ClientSubnet) addressBytes() ([]byte, error) {
+	n := (int(cs.SourcePrefix) + 7) / 8
+	var full net.IP
+	switch cs.Family {
+	case 1:
+		full = cs.Address.To4()
+	case 2:
+		full = cs.Address.To16()
+	default:
+		return nil, fmt.Errorf("%w: ECS family %d", ErrMalformed, cs.Family)
+	}
+	if full == nil || n > len(full) {
+		return nil, fmt.Errorf("%w: ECS address/prefix", ErrMalformed)
+	}
+	return full[:n], nil
+}
+
+// Unpack decodes a wire-format message, following compression pointers.
+func Unpack(data []byte) (*Message, error) {
+	d := &decoder{data: data}
+	m := &Message{}
+	if len(data) < 12 {
+		return nil, fmt.Errorf("%w: short header", ErrMalformed)
+	}
+	m.ID = binary.BigEndian.Uint16(data[0:2])
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xf)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	ns := int(binary.BigEndian.Uint16(data[8:10]))
+	ar := int(binary.BigEndian.Uint16(data[10:12]))
+	d.off = 12
+
+	for i := 0; i < qd; i++ {
+		name, err := d.readName()
+		if err != nil {
+			return nil, err
+		}
+		t, c, err := d.readUint16Pair()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(c)})
+	}
+	var err error
+	if m.Answers, err = d.readRecords(an); err != nil {
+		return nil, err
+	}
+	if m.Authorities, err = d.readRecords(ns); err != nil {
+		return nil, err
+	}
+	adds, err := d.readRecords(ar)
+	if err != nil {
+		return nil, err
+	}
+	for _, rr := range adds {
+		if rr.Type == TypeOPT {
+			e := &EDNS{UDPSize: uint16(rr.Class)}
+			if cs, err := parseClientSubnet(rr.Raw); err == nil && cs != nil {
+				e.ClientSubnet = cs
+			}
+			m.EDNS = e
+			continue
+		}
+		m.Additionals = append(m.Additionals, rr)
+	}
+	return m, nil
+}
+
+func parseClientSubnet(raw []byte) (*ClientSubnet, error) {
+	for len(raw) >= 4 {
+		code := binary.BigEndian.Uint16(raw[0:2])
+		olen := int(binary.BigEndian.Uint16(raw[2:4]))
+		raw = raw[4:]
+		if olen > len(raw) {
+			return nil, ErrMalformed
+		}
+		opt := raw[:olen]
+		raw = raw[olen:]
+		if code != optClientSubnet {
+			continue
+		}
+		if len(opt) < 4 {
+			return nil, ErrMalformed
+		}
+		cs := &ClientSubnet{
+			Family:       binary.BigEndian.Uint16(opt[0:2]),
+			SourcePrefix: opt[2],
+			ScopePrefix:  opt[3],
+		}
+		addr := opt[4:]
+		switch cs.Family {
+		case 1:
+			ip := make(net.IP, 4)
+			copy(ip, addr)
+			cs.Address = ip
+		case 2:
+			ip := make(net.IP, 16)
+			copy(ip, addr)
+			cs.Address = ip
+		default:
+			return nil, ErrMalformed
+		}
+		return cs, nil
+	}
+	return nil, nil
+}
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) readUint16Pair() (uint16, uint16, error) {
+	if d.off+4 > len(d.data) {
+		return 0, 0, fmt.Errorf("%w: truncated", ErrMalformed)
+	}
+	a := binary.BigEndian.Uint16(d.data[d.off:])
+	b := binary.BigEndian.Uint16(d.data[d.off+2:])
+	d.off += 4
+	return a, b, nil
+}
+
+// readName reads a possibly-compressed name starting at the cursor.
+func (d *decoder) readName() (string, error) {
+	name, next, err := readNameAt(d.data, d.off, 0)
+	if err != nil {
+		return "", err
+	}
+	d.off = next
+	return name, nil
+}
+
+// readNameAt reads a name at off; next is the offset after the name's
+// in-place representation (pointers do not move it past the pointer).
+func readNameAt(data []byte, off, depth int) (name string, next int, err error) {
+	if depth > 16 {
+		return "", 0, fmt.Errorf("%w: compression loop", ErrMalformed)
+	}
+	var sb strings.Builder
+	next = -1
+	for {
+		if off >= len(data) {
+			return "", 0, fmt.Errorf("%w: name runs past end", ErrMalformed)
+		}
+		l := int(data[off])
+		switch {
+		case l == 0:
+			if next < 0 {
+				next = off + 1
+			}
+			return strings.TrimSuffix(sb.String(), "."), next, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(data) {
+				return "", 0, fmt.Errorf("%w: truncated pointer", ErrMalformed)
+			}
+			ptr := int(data[off]&0x3f)<<8 | int(data[off+1])
+			if next < 0 {
+				next = off + 2
+			}
+			rest, _, err := readNameAt(data, ptr, depth+1)
+			if err != nil {
+				return "", 0, err
+			}
+			if rest != "" {
+				sb.WriteString(rest)
+				sb.WriteByte('.')
+			}
+			return strings.TrimSuffix(sb.String(), "."), next, nil
+		case l&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type", ErrMalformed)
+		default:
+			if off+1+l > len(data) {
+				return "", 0, fmt.Errorf("%w: truncated label", ErrMalformed)
+			}
+			sb.Write(data[off+1 : off+1+l])
+			sb.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}
+
+func (d *decoder) readRecords(n int) ([]Record, error) {
+	var out []Record
+	for i := 0; i < n; i++ {
+		rr, err := d.readRecord()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+func (d *decoder) readRecord() (Record, error) {
+	var rr Record
+	name, err := d.readName()
+	if err != nil {
+		return rr, err
+	}
+	rr.Name = name
+	t, c, err := d.readUint16Pair()
+	if err != nil {
+		return rr, err
+	}
+	rr.Type, rr.Class = Type(t), Class(c)
+	if d.off+6 > len(d.data) {
+		return rr, fmt.Errorf("%w: truncated record", ErrMalformed)
+	}
+	rr.TTL = binary.BigEndian.Uint32(d.data[d.off:])
+	rdlen := int(binary.BigEndian.Uint16(d.data[d.off+4:]))
+	d.off += 6
+	if d.off+rdlen > len(d.data) {
+		return rr, fmt.Errorf("%w: truncated rdata", ErrMalformed)
+	}
+	body := d.data[d.off : d.off+rdlen]
+	bodyStart := d.off
+	d.off += rdlen
+
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, fmt.Errorf("%w: A rdlen %d", ErrMalformed, rdlen)
+		}
+		rr.A = net.IP(append([]byte(nil), body...))
+	case TypeAAAA:
+		if rdlen != 16 {
+			return rr, fmt.Errorf("%w: AAAA rdlen %d", ErrMalformed, rdlen)
+		}
+		rr.AAAA = net.IP(append([]byte(nil), body...))
+	case TypeCNAME, TypeNS:
+		target, _, err := readNameAt(d.data, bodyStart, 0)
+		if err != nil {
+			return rr, err
+		}
+		rr.Target = target
+	case TypeMX:
+		if rdlen < 3 {
+			return rr, fmt.Errorf("%w: MX rdlen %d", ErrMalformed, rdlen)
+		}
+		rr.MX.Preference = binary.BigEndian.Uint16(body)
+		host, _, err := readNameAt(d.data, bodyStart+2, 0)
+		if err != nil {
+			return rr, err
+		}
+		rr.MX.Host = host
+	case TypeSOA:
+		mname, next, err := readNameAt(d.data, bodyStart, 0)
+		if err != nil {
+			return rr, err
+		}
+		rname, next, err := readNameAt(d.data, next, 0)
+		if err != nil {
+			return rr, err
+		}
+		if next+20 > len(d.data) {
+			return rr, fmt.Errorf("%w: truncated SOA", ErrMalformed)
+		}
+		rr.SOA = SOAData{
+			MName:   mname,
+			RName:   rname,
+			Serial:  binary.BigEndian.Uint32(d.data[next:]),
+			Refresh: binary.BigEndian.Uint32(d.data[next+4:]),
+			Retry:   binary.BigEndian.Uint32(d.data[next+8:]),
+			Expire:  binary.BigEndian.Uint32(d.data[next+12:]),
+			Minimum: binary.BigEndian.Uint32(d.data[next+16:]),
+		}
+	case TypeTXT:
+		for len(body) > 0 {
+			l := int(body[0])
+			if 1+l > len(body) {
+				return rr, fmt.Errorf("%w: truncated TXT", ErrMalformed)
+			}
+			rr.TXT = append(rr.TXT, string(body[1:1+l]))
+			body = body[1+l:]
+		}
+	default:
+		rr.Raw = append([]byte(nil), body...)
+	}
+	return rr, nil
+}

@@ -1,0 +1,200 @@
+// Package dnsmsg implements the DNS wire format (RFC 1035) for the subset
+// of the protocol the paper's experiments need: queries and responses with
+// A, AAAA, CNAME, MX, NS, SOA and TXT records, name decompression, and the
+// EDNS0 OPT pseudo-record with the Client Subnet option (RFC 7871) whose
+// presence in queries to the honeypot's authoritative server reveals the
+// networks behind Google Public DNS (Section 6.2).
+package dnsmsg
+
+import (
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// Record types used by the experiments.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeOPT:
+		return "OPT"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess  RCode = 0 // NOERROR
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImpl  RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String names the rcode.
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImpl:
+		return "NOTIMPL"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrMalformed   = errors.New("dnsmsg: malformed message")
+	ErrNameTooLong = errors.New("dnsmsg: name too long")
+)
+
+// Question is a DNS question.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// Record is a resource record with a decoded body.
+type Record struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	// Exactly one of the following is meaningful, per Type.
+	A      net.IP   // TypeA (4 bytes)
+	AAAA   net.IP   // TypeAAAA (16 bytes)
+	Target string   // TypeCNAME, TypeNS target name
+	MX     MXData   // TypeMX
+	SOA    SOAData  // TypeSOA
+	TXT    []string // TypeTXT
+	Raw    []byte   // unrecognized types (stored verbatim)
+}
+
+// MXData is the body of an MX record.
+type MXData struct {
+	Preference uint16
+	Host       string
+}
+
+// SOAData is the body of a SOA record.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// ClientSubnet is the RFC 7871 EDNS Client Subnet option: the network of
+// the stub resolver or client on whose behalf a recursive resolver asks.
+type ClientSubnet struct {
+	Family       uint16 // 1 = IPv4, 2 = IPv6
+	SourcePrefix uint8
+	ScopePrefix  uint8
+	Address      net.IP
+}
+
+// String renders the subnet as addr/prefix.
+func (cs ClientSubnet) String() string {
+	return fmt.Sprintf("%s/%d", cs.Address, cs.SourcePrefix)
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+
+	Questions   []Question
+	Answers     []Record
+	Authorities []Record
+	Additionals []Record
+
+	// EDNS carries the OPT pseudo-record state when present.
+	EDNS *EDNS
+}
+
+// EDNS is the decoded OPT pseudo-record.
+type EDNS struct {
+	UDPSize      uint16
+	ClientSubnet *ClientSubnet
+}
+
+// NewQuery builds a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, qtype Type) *Message {
+	return &Message{
+		ID:               id,
+		RecursionDesired: true,
+		Questions:        []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response skeleton for a query, echoing ID and question.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		ID:                 m.ID,
+		Response:           true,
+		Opcode:             m.Opcode,
+		RecursionDesired:   m.RecursionDesired,
+		RecursionAvailable: false,
+		Questions:          append([]Question(nil), m.Questions...),
+	}
+	return r
+}

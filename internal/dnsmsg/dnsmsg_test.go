@@ -1,0 +1,291 @@
+package dnsmsg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	return got
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "www.example.com", TypeA)
+	got := roundTrip(t, q)
+	if got.ID != 0x1234 || got.Response || !got.RecursionDesired {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions: %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "www.example.com" || got.Questions[0].Type != TypeA || got.Questions[0].Class != ClassIN {
+		t.Fatalf("question: %+v", got.Questions[0])
+	}
+}
+
+func TestResponseWithAllRecordTypes(t *testing.T) {
+	q := NewQuery(7, "svc.example.org", TypeA)
+	r := q.Reply()
+	r.Authoritative = true
+	r.Answers = []Record{
+		{Name: "svc.example.org", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "real.example.org"},
+		{Name: "real.example.org", Type: TypeA, Class: ClassIN, TTL: 300, A: net.IPv4(192, 0, 2, 55)},
+		{Name: "real.example.org", Type: TypeAAAA, Class: ClassIN, TTL: 300, AAAA: net.ParseIP("2001:db8::7")},
+		{Name: "example.org", Type: TypeMX, Class: ClassIN, TTL: 600, MX: MXData{Preference: 10, Host: "mail.example.org"}},
+		{Name: "example.org", Type: TypeTXT, Class: ClassIN, TTL: 600, TXT: []string{"v=spf1 -all", "second"}},
+	}
+	r.Authorities = []Record{
+		{Name: "example.org", Type: TypeNS, Class: ClassIN, TTL: 3600, Target: "ns1.example.org"},
+		{Name: "example.org", Type: TypeSOA, Class: ClassIN, TTL: 3600, SOA: SOAData{
+			MName: "ns1.example.org", RName: "hostmaster.example.org",
+			Serial: 2018043001, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+		}},
+	}
+	got := roundTrip(t, r)
+	if !got.Response || !got.Authoritative {
+		t.Fatal("flags lost")
+	}
+	if len(got.Answers) != 5 || len(got.Authorities) != 2 {
+		t.Fatalf("sections: %d/%d", len(got.Answers), len(got.Authorities))
+	}
+	if got.Answers[0].Target != "real.example.org" {
+		t.Errorf("CNAME = %q", got.Answers[0].Target)
+	}
+	if !got.Answers[1].A.Equal(net.IPv4(192, 0, 2, 55)) {
+		t.Errorf("A = %v", got.Answers[1].A)
+	}
+	if !got.Answers[2].AAAA.Equal(net.ParseIP("2001:db8::7")) {
+		t.Errorf("AAAA = %v", got.Answers[2].AAAA)
+	}
+	if got.Answers[3].MX.Preference != 10 || got.Answers[3].MX.Host != "mail.example.org" {
+		t.Errorf("MX = %+v", got.Answers[3].MX)
+	}
+	if !reflect.DeepEqual(got.Answers[4].TXT, []string{"v=spf1 -all", "second"}) {
+		t.Errorf("TXT = %v", got.Answers[4].TXT)
+	}
+	soa := got.Authorities[1].SOA
+	if soa.Serial != 2018043001 || soa.RName != "hostmaster.example.org" || soa.Minimum != 300 {
+		t.Errorf("SOA = %+v", soa)
+	}
+}
+
+func TestNXDomainFlags(t *testing.T) {
+	q := NewQuery(9, "nope.example.net", TypeAAAA)
+	r := q.Reply()
+	r.RCode = RCodeNXDomain
+	got := roundTrip(t, r)
+	if got.RCode != RCodeNXDomain {
+		t.Fatalf("rcode = %v", got.RCode)
+	}
+	if got.RCode.String() != "NXDOMAIN" {
+		t.Fatalf("rcode name = %q", got.RCode.String())
+	}
+}
+
+func TestEDNSClientSubnetRoundTrip(t *testing.T) {
+	q := NewQuery(11, "probe.example.com", TypeA)
+	q.EDNS = &EDNS{
+		UDPSize: 4096,
+		ClientSubnet: &ClientSubnet{
+			Family:       1,
+			SourcePrefix: 24,
+			Address:      net.IPv4(203, 0, 113, 0),
+		},
+	}
+	got := roundTrip(t, q)
+	if got.EDNS == nil {
+		t.Fatal("EDNS lost")
+	}
+	if got.EDNS.UDPSize != 4096 {
+		t.Fatalf("UDP size = %d", got.EDNS.UDPSize)
+	}
+	cs := got.EDNS.ClientSubnet
+	if cs == nil {
+		t.Fatal("client subnet lost")
+	}
+	if cs.Family != 1 || cs.SourcePrefix != 24 {
+		t.Fatalf("ECS = %+v", cs)
+	}
+	if !cs.Address.Equal(net.IPv4(203, 0, 113, 0)) {
+		t.Fatalf("ECS addr = %v", cs.Address)
+	}
+	if cs.String() != "203.0.113.0/24" {
+		t.Fatalf("ECS string = %q", cs.String())
+	}
+}
+
+func TestEDNSClientSubnetIPv6(t *testing.T) {
+	q := NewQuery(12, "probe.example.com", TypeAAAA)
+	q.EDNS = &EDNS{ClientSubnet: &ClientSubnet{
+		Family:       2,
+		SourcePrefix: 64,
+		Address:      net.ParseIP("2001:db8:aa:bb::"),
+	}}
+	got := roundTrip(t, q)
+	cs := got.EDNS.ClientSubnet
+	if cs == nil || cs.Family != 2 || cs.SourcePrefix != 64 {
+		t.Fatalf("ECS = %+v", cs)
+	}
+	if !cs.Address.Equal(net.ParseIP("2001:db8:aa:bb::")) {
+		t.Fatalf("addr = %v", cs.Address)
+	}
+	// A /56 prefix transmits only 7 address bytes; the 8th byte is masked.
+	q2 := NewQuery(14, "probe.example.com", TypeAAAA)
+	q2.EDNS = &EDNS{ClientSubnet: &ClientSubnet{
+		Family: 2, SourcePrefix: 56, Address: net.ParseIP("2001:db8:aa:bb::"),
+	}}
+	got2 := roundTrip(t, q2)
+	if !got2.EDNS.ClientSubnet.Address.Equal(net.ParseIP("2001:db8:aa::")) {
+		t.Fatalf("/56 masking: %v", got2.EDNS.ClientSubnet.Address)
+	}
+}
+
+func TestEDNSWithoutSubnet(t *testing.T) {
+	q := NewQuery(13, "x.example.com", TypeA)
+	q.EDNS = &EDNS{UDPSize: 1232}
+	got := roundTrip(t, q)
+	if got.EDNS == nil || got.EDNS.UDPSize != 1232 || got.EDNS.ClientSubnet != nil {
+		t.Fatalf("EDNS = %+v", got.EDNS)
+	}
+}
+
+func TestCompressionPointerDecode(t *testing.T) {
+	// Hand-build a response with a compression pointer: answer name points
+	// at the question name.
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, 0xabcd) // ID
+	buf = binary.BigEndian.AppendUint16(buf, 0x8180) // response, RD, RA
+	buf = binary.BigEndian.AppendUint16(buf, 1)      // qd
+	buf = binary.BigEndian.AppendUint16(buf, 1)      // an
+	buf = binary.BigEndian.AppendUint16(buf, 0)      // ns
+	buf = binary.BigEndian.AppendUint16(buf, 0)      // ar
+	// question: www.example.com A IN, name starts at offset 12
+	for _, l := range []string{"www", "example", "com"} {
+		buf = append(buf, byte(len(l)))
+		buf = append(buf, l...)
+	}
+	buf = append(buf, 0)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(TypeA))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(ClassIN))
+	// answer: pointer to offset 12
+	buf = append(buf, 0xc0, 12)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(TypeA))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(ClassIN))
+	buf = binary.BigEndian.AppendUint32(buf, 60)
+	buf = binary.BigEndian.AppendUint16(buf, 4)
+	buf = append(buf, 198, 51, 100, 9)
+
+	m, err := Unpack(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "www.example.com" {
+		t.Fatalf("decompressed name = %q", m.Answers[0].Name)
+	}
+	if !m.Answers[0].A.Equal(net.IPv4(198, 51, 100, 9)) {
+		t.Fatalf("A = %v", m.Answers[0].A)
+	}
+}
+
+func TestCompressionLoopRejected(t *testing.T) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, 1)
+	buf = binary.BigEndian.AppendUint16(buf, 0)
+	buf = binary.BigEndian.AppendUint16(buf, 1)
+	buf = binary.BigEndian.AppendUint16(buf, 0)
+	buf = binary.BigEndian.AppendUint16(buf, 0)
+	buf = binary.BigEndian.AppendUint16(buf, 0)
+	// Self-referencing pointer at offset 12.
+	buf = append(buf, 0xc0, 12)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(TypeA))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(ClassIN))
+	if _, err := Unpack(buf); err == nil {
+		t.Fatal("compression loop accepted")
+	}
+}
+
+func TestUnpackRejectsTruncation(t *testing.T) {
+	q := NewQuery(5, "trunc.example.com", TypeA)
+	q.Answers = []Record{{Name: "trunc.example.com", Type: TypeA, Class: ClassIN, TTL: 1, A: net.IPv4(1, 2, 3, 4)}}
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(wire); cut += 3 {
+		if _, err := Unpack(wire[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestPackRejectsBadNames(t *testing.T) {
+	q := NewQuery(1, "bad..name", TypeA)
+	if _, err := q.Pack(); err == nil {
+		t.Fatal("empty label accepted")
+	}
+	q = NewQuery(1, string(bytes.Repeat([]byte("a"), 70))+".com", TypeA)
+	if _, err := q.Pack(); err == nil {
+		t.Fatal("oversized label accepted")
+	}
+}
+
+func TestReplyEchoesQuestion(t *testing.T) {
+	q := NewQuery(42, "echo.example.com", TypeMX)
+	r := q.Reply()
+	if !r.Response || r.ID != 42 {
+		t.Fatal("reply header")
+	}
+	if len(r.Questions) != 1 || r.Questions[0].Name != "echo.example.com" {
+		t.Fatal("reply question")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" || TypeSOA.String() != "SOA" ||
+		TypeMX.String() != "MX" || TypeNS.String() != "NS" || TypeCNAME.String() != "CNAME" ||
+		TypeTXT.String() != "TXT" || TypeOPT.String() != "OPT" {
+		t.Fatal("type names")
+	}
+	if Type(999).String() != "TYPE999" {
+		t.Fatal("unknown type name")
+	}
+}
+
+func TestRootNameEncodes(t *testing.T) {
+	m := &Message{ID: 1, Questions: []Question{{Name: "", Type: TypeNS, Class: ClassIN}}}
+	got := roundTrip(t, m)
+	if got.Questions[0].Name != "" {
+		t.Fatalf("root name = %q", got.Questions[0].Name)
+	}
+}
+
+func BenchmarkPackUnpack(b *testing.B) {
+	q := NewQuery(1, "bench.example.com", TypeA)
+	r := q.Reply()
+	r.Answers = []Record{
+		{Name: "bench.example.com", Type: TypeA, Class: ClassIN, TTL: 60, A: net.IPv4(192, 0, 2, 1)},
+		{Name: "bench.example.com", Type: TypeAAAA, Class: ClassIN, TTL: 60, AAAA: net.ParseIP("2001:db8::1")},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := r.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package dnsmsg
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+)
+
+// Property: random well-formed messages survive Pack → Unpack with all
+// sections, flags and record bodies intact.
+func TestPropertyMessageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	randName := func() string {
+		labels := rng.Intn(3) + 2
+		out := ""
+		for i := 0; i < labels; i++ {
+			if i > 0 {
+				out += "."
+			}
+			n := rng.Intn(10) + 1
+			for j := 0; j < n; j++ {
+				out += string(rune('a' + rng.Intn(26)))
+			}
+		}
+		return out
+	}
+	randRecord := func(name string) Record {
+		switch rng.Intn(5) {
+		case 0:
+			return Record{Name: name, Type: TypeA, Class: ClassIN, TTL: rng.Uint32() % 86400,
+				A: net.IPv4(byte(rng.Intn(223)+1), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))}
+		case 1:
+			ip := make(net.IP, 16)
+			rng.Read(ip)
+			return Record{Name: name, Type: TypeAAAA, Class: ClassIN, TTL: 60, AAAA: ip}
+		case 2:
+			return Record{Name: name, Type: TypeCNAME, Class: ClassIN, TTL: 60, Target: randName()}
+		case 3:
+			return Record{Name: name, Type: TypeMX, Class: ClassIN, TTL: 60,
+				MX: MXData{Preference: uint16(rng.Intn(100)), Host: randName()}}
+		default:
+			return Record{Name: name, Type: TypeTXT, Class: ClassIN, TTL: 60,
+				TXT: []string{randName(), randName()}}
+		}
+	}
+
+	for iter := 0; iter < 400; iter++ {
+		m := NewQuery(uint16(rng.Intn(1<<16)), randName(), TypeA)
+		reply := m.Reply()
+		reply.Authoritative = rng.Intn(2) == 0
+		reply.RCode = RCode(rng.Intn(6))
+		nAns := rng.Intn(4)
+		for i := 0; i < nAns; i++ {
+			reply.Answers = append(reply.Answers, randRecord(reply.Questions[0].Name))
+		}
+		wire, err := reply.Pack()
+		if err != nil {
+			t.Fatalf("Pack: %v", err)
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("Unpack: %v", err)
+		}
+		if got.ID != reply.ID || got.RCode != reply.RCode || got.Authoritative != reply.Authoritative {
+			t.Fatalf("header mismatch: %+v vs %+v", got, reply)
+		}
+		if len(got.Answers) != len(reply.Answers) {
+			t.Fatalf("answers %d vs %d", len(got.Answers), len(reply.Answers))
+		}
+		for i, a := range got.Answers {
+			w := reply.Answers[i]
+			if a.Type != w.Type || a.Name != w.Name || a.TTL != w.TTL {
+				t.Fatalf("answer %d header mismatch", i)
+			}
+			switch a.Type {
+			case TypeA:
+				if !a.A.Equal(w.A) {
+					t.Fatalf("A mismatch: %v vs %v", a.A, w.A)
+				}
+			case TypeAAAA:
+				if !a.AAAA.Equal(w.AAAA) {
+					t.Fatalf("AAAA mismatch")
+				}
+			case TypeCNAME:
+				if a.Target != w.Target {
+					t.Fatalf("CNAME mismatch")
+				}
+			case TypeMX:
+				if a.MX != w.MX {
+					t.Fatalf("MX mismatch")
+				}
+			case TypeTXT:
+				if len(a.TXT) != len(w.TXT) || a.TXT[0] != w.TXT[0] {
+					t.Fatalf("TXT mismatch")
+				}
+			}
+		}
+	}
+}
+
+// Property: Unpack never panics on arbitrary mutations of valid packets.
+func TestPropertyUnpackRobustToMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	base := NewQuery(1, "fuzz.example.com", TypeA)
+	base.Answers = []Record{{Name: "fuzz.example.com", Type: TypeA, Class: ClassIN, TTL: 1, A: net.IPv4(1, 2, 3, 4)}}
+	wire, err := base.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		mutated := append([]byte(nil), wire...)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			mutated[rng.Intn(len(mutated))] = byte(rng.Intn(256))
+		}
+		// Must not panic; errors are fine.
+		_, _ = Unpack(mutated)
+	}
+}

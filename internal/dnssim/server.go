@@ -1,0 +1,174 @@
+package dnssim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ctrise/internal/dnsmsg"
+)
+
+// QueryEvent describes one query observed by the authoritative server —
+// the honeypot's primary measurement signal (Table 4 counts queries,
+// querying ASes, and EDNS client subnets per honeypot subdomain).
+type QueryEvent struct {
+	Time         time.Time
+	Source       net.Addr
+	Name         string
+	Type         dnsmsg.Type
+	ClientSubnet *dnsmsg.ClientSubnet
+	RCode        dnsmsg.RCode
+}
+
+// Server is an authoritative UDP DNS server over one or more zones.
+type Server struct {
+	universe *Universe
+	// OnQuery, if set, observes every query after it is answered.
+	OnQuery func(QueryEvent)
+	// Clock stamps query events; defaults to time.Now.
+	Clock func() time.Time
+
+	mu     sync.Mutex
+	conn   net.PacketConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server answering from the universe's zones.
+func NewServer(u *Universe) *Server {
+	return &Server{universe: u, Clock: time.Now}
+}
+
+// Start begins serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serve(conn)
+	return conn.LocalAddr(), nil
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve(conn net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, src, err := conn.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.handlePacket(conn, src, pkt)
+	}
+}
+
+func (s *Server) handlePacket(conn net.PacketConn, src net.Addr, pkt []byte) {
+	query, err := dnsmsg.Unpack(pkt)
+	if err != nil || query.Response || len(query.Questions) == 0 {
+		return
+	}
+	q := query.Questions[0]
+	reply := query.Reply()
+	reply.Authoritative = true
+
+	res := s.universe.Resolve(q.Name, q.Type)
+	switch res.RCode {
+	case dnsmsg.RCodeSuccess:
+		reply.Answers = res.Records
+	case dnsmsg.RCodeRefused:
+		reply.RCode = dnsmsg.RCodeRefused
+	default:
+		reply.RCode = res.RCode
+	}
+
+	if s.OnQuery != nil {
+		var cs *dnsmsg.ClientSubnet
+		if query.EDNS != nil {
+			cs = query.EDNS.ClientSubnet
+		}
+		s.OnQuery(QueryEvent{
+			Time:         s.Clock(),
+			Source:       src,
+			Name:         q.Name,
+			Type:         q.Type,
+			ClientSubnet: cs,
+			RCode:        reply.RCode,
+		})
+	}
+
+	wire, err := reply.Pack()
+	if err != nil {
+		return
+	}
+	_, _ = conn.WriteTo(wire, src)
+}
+
+// Client is a minimal UDP DNS client used by attacker agents and tests.
+type Client struct {
+	// Timeout bounds one exchange; defaults to 2s.
+	Timeout time.Duration
+}
+
+// Exchange sends query to server and returns the reply.
+func (c *Client) Exchange(server string, query *dnsmsg.Message) (*dnsmsg.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := dnsmsg.Unpack(buf[:n])
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != query.ID {
+		return nil, fmt.Errorf("dnssim: reply ID %d != query ID %d", reply.ID, query.ID)
+	}
+	return reply, nil
+}

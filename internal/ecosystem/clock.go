@@ -1,0 +1,51 @@
+// Package ecosystem builds the synthetic CT world the experiments run in:
+// the named logs of Table 1, the dominant CAs of Figure 1 with
+// paper-calibrated issuance-rate models and log-selection policies, the
+// subdomain-label model behind Table 2, a registrable-domain population,
+// and the virtual clock that replays the 2015–2018 timeline
+// deterministically.
+package ecosystem
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock shared by logs, CAs, monitors, and honeypots.
+// Experiments advance it explicitly; nothing in the simulation reads the
+// wall clock, which keeps every run reproducible.
+type Clock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewClock starts a clock at t.
+func NewClock(t time.Time) *Clock {
+	return &Clock{now: t.UTC()}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t (used when replaying sparse timelines).
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t.UTC()
+	c.mu.Unlock()
+}
+
+// Date is shorthand for a UTC midnight.
+func Date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}

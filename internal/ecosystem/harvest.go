@@ -1,0 +1,132 @@
+package ecosystem
+
+import (
+	"time"
+
+	"ctrise/internal/certs"
+	"ctrise/internal/ctlog"
+	"ctrise/internal/sct"
+	"ctrise/internal/stats"
+)
+
+// Harvest is the aggregated view of all log contents — everything the
+// Section 2 figures need, computed by walking every log's entries the way
+// the paper's crawler walked the public logs.
+type Harvest struct {
+	// PrecertsByOrgDay counts precertificate entries per (CA organization,
+	// day): the source of Figures 1a and 1b.
+	PrecertsByOrgDay *stats.DaySeries
+	// PrecertsByOrgLog counts precertificate entries per (CA organization,
+	// log name) within [HeatmapFrom, HeatmapTo): Figure 1c.
+	PrecertsByOrgLog map[string]*stats.Counter
+	// TotalPrecerts counts all precertificate entries.
+	TotalPrecerts uint64
+	// TotalFinal counts final-certificate entries.
+	TotalFinal uint64
+	// Names are all FQDNs extracted from certificate CN and SAN fields,
+	// deduplicated — the Section 4 input corpus.
+	Names map[string]struct{}
+	// HeatmapFrom/To bound the Figure 1c window.
+	HeatmapFrom, HeatmapTo time.Time
+}
+
+// HarvestLogs walks every log and aggregates. heatFrom/heatTo bound the
+// Figure 1c window (the paper uses April 2018).
+func (w *World) HarvestLogs(heatFrom, heatTo time.Time) (*Harvest, error) {
+	h := &Harvest{
+		PrecertsByOrgDay: stats.NewDaySeries(),
+		PrecertsByOrgLog: make(map[string]*stats.Counter),
+		Names:            make(map[string]struct{}),
+		HeatmapFrom:      heatFrom,
+		HeatmapTo:        heatTo,
+	}
+	for _, name := range w.LogNames {
+		l := w.Logs[name]
+		size := l.STH().TreeHead.TreeSize
+		var start uint64
+		for start < size {
+			end := start + 999
+			if end >= size {
+				end = size - 1
+			}
+			entries, err := l.GetEntries(start, end)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				h.observe(name, e)
+			}
+			start = end + 1
+		}
+	}
+	return h, nil
+}
+
+func (h *Harvest) observe(logName string, e *ctlog.Entry) {
+	// Both precert TBS bytes and final-cert bytes use the synthetic codec.
+	cert, err := certs.Decode(e.Cert)
+	if err != nil {
+		// Foreign entries (e.g. hand-submitted DER) are counted but not
+		// attributed.
+		if e.Type == sct.PrecertLogEntryType {
+			h.TotalPrecerts++
+		} else {
+			h.TotalFinal++
+		}
+		return
+	}
+	for _, n := range cert.Names() {
+		h.Names[n] = struct{}{}
+	}
+	ts := time.UnixMilli(int64(e.Timestamp)).UTC()
+	org := cert.Issuer.Organization
+	if e.Type == sct.PrecertLogEntryType {
+		h.TotalPrecerts++
+		h.PrecertsByOrgDay.Add(org, ts, 1)
+		if !ts.Before(h.HeatmapFrom) && ts.Before(h.HeatmapTo) {
+			c := h.PrecertsByOrgLog[org]
+			if c == nil {
+				c = stats.NewCounter()
+				h.PrecertsByOrgLog[org] = c
+			}
+			c.Inc(logName)
+		}
+	} else {
+		h.TotalFinal++
+	}
+}
+
+// CumulativeByOrg returns, per organization, the cumulative precert counts
+// aligned with Days() — Figure 1a's series.
+func (h *Harvest) CumulativeByOrg() (days []string, series map[string][]float64) {
+	days = h.PrecertsByOrgDay.Days()
+	series = make(map[string][]float64)
+	for _, org := range h.PrecertsByOrgDay.SeriesNames() {
+		series[org] = h.PrecertsByOrgDay.Cumulative(org)
+	}
+	return days, series
+}
+
+// DailyShareByOrg returns, per organization, each day's share of that
+// day's total precert logging — Figure 1b's relative update rate.
+func (h *Harvest) DailyShareByOrg() (days []string, series map[string][]float64) {
+	days = h.PrecertsByOrgDay.Days()
+	orgs := h.PrecertsByOrgDay.SeriesNames()
+	series = make(map[string][]float64)
+	for _, org := range orgs {
+		series[org] = make([]float64, len(days))
+	}
+	for i, day := range days {
+		var total float64
+		for _, org := range orgs {
+			total += h.PrecertsByOrgDay.Value(org, day)
+		}
+		if total == 0 {
+			continue
+		}
+		for _, org := range orgs {
+			series[org][i] = h.PrecertsByOrgDay.Value(org, day) / total
+		}
+	}
+	return days, series
+}

@@ -1,0 +1,80 @@
+package ecosystem
+
+import (
+	"time"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/sct"
+)
+
+// Log names, matching Table 1 of the paper. Constants avoid typos in the
+// CA policies and experiment assertions.
+const (
+	LogGooglePilot     = "Google Pilot log"
+	LogSymantec        = "Symantec log"
+	LogGoogleRocketeer = "Google Rocketeer log"
+	LogDigiCert        = "DigiCert Log Server"
+	LogGoogleSkydiver  = "Google Skydiver log"
+	LogGoogleAviator   = "Google Aviator log"
+	LogVenafi          = "Venafi log"
+	LogDigiCert2       = "DigiCert Log Server 2"
+	LogSymantecVega    = "Symantec Vega log"
+	LogComodoMammoth   = "Comodo Mammoth CT log"
+	LogNimbus2018      = "Cloudflare Nimbus2018 Log"
+	LogGoogleIcarus    = "Google Icarus log"
+	LogNimbus2020      = "Cloudflare Nimbus2020 Log"
+	LogComodoSabre     = "Comodo Sabre CT log"
+	LogCertlyIO        = "Certly.IO log"
+)
+
+// logSpec describes one named log.
+type logSpec struct {
+	name     string
+	operator string
+	chrome   time.Time // Chrome inclusion date (Table 1 annotation)
+}
+
+// logSpecs lists the Table 1 logs with their Chrome inclusion dates.
+var logSpecs = []logSpec{
+	{LogGooglePilot, "Google", Date(2014, 6, 1)},
+	{LogSymantec, "Symantec", Date(2015, 9, 1)},
+	{LogGoogleRocketeer, "Google", Date(2015, 4, 1)},
+	{LogDigiCert, "DigiCert", Date(2015, 1, 1)},
+	{LogGoogleSkydiver, "Google", Date(2016, 11, 1)},
+	{LogGoogleAviator, "Google", Date(2014, 6, 1)},
+	{LogVenafi, "Venafi", Date(2015, 10, 1)},
+	{LogDigiCert2, "DigiCert", Date(2017, 6, 1)},
+	{LogSymantecVega, "Symantec", Date(2016, 2, 1)},
+	{LogComodoMammoth, "Comodo", Date(2017, 7, 1)},
+	{LogNimbus2018, "Cloudflare", Date(2018, 3, 1)},
+	{LogGoogleIcarus, "Google", Date(2016, 11, 1)},
+	{LogNimbus2020, "Cloudflare", Date(2018, 3, 1)},
+	{LogComodoSabre, "Comodo", Date(2017, 7, 1)},
+	{LogCertlyIO, "Certly", Date(2015, 4, 1)},
+}
+
+// buildLogs instantiates the named logs on the shared clock. Logs use the
+// simulation fast signer; nimbusCapacity, if positive, rate-limits the
+// Nimbus2018 log so the overload incident of Section 2 can be reproduced.
+func buildLogs(clock *Clock, nimbusCapacity float64) (map[string]*ctlog.Log, error) {
+	out := make(map[string]*ctlog.Log, len(logSpecs))
+	for _, spec := range logSpecs {
+		cfg := ctlog.Config{
+			Name:                spec.name,
+			Operator:            spec.operator,
+			Signer:              sct.NewFastSigner(spec.name),
+			Clock:               clock.Now,
+			MaxGetEntries:       1000,
+			ChromeInclusionDate: spec.chrome,
+		}
+		if spec.name == LogNimbus2018 && nimbusCapacity > 0 {
+			cfg.CapacityPerSecond = nimbusCapacity
+		}
+		l, err := ctlog.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[spec.name] = l
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package ecosystem
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ctrise/internal/ca"
+	"ctrise/internal/ctlog"
+	"ctrise/internal/psl"
+	"ctrise/internal/sct"
+)
+
+// Config parameterizes a World.
+type Config struct {
+	// Seed drives all randomness. Same seed, same world.
+	Seed int64
+	// Scale shrinks paper-scale counts (e.g. 2.3M certs/day) to
+	// simulation scale. Default 1e-4.
+	Scale float64
+	// TimelineStart/TimelineEnd bound the Figure 1 replay. Defaults:
+	// 2015-01-01 to 2018-05-01.
+	TimelineStart time.Time
+	TimelineEnd   time.Time
+	// NumDomains is the registrable-domain population size. Default 20000.
+	NumDomains int
+	// NimbusCapacity, if positive, rate-limits the Nimbus2018 log
+	// (submissions/second of virtual time) to reproduce the overload
+	// incident.
+	NimbusCapacity float64
+}
+
+// Domain is one registrable domain of the population.
+type Domain struct {
+	Name   string // full registrable domain, e.g. "bacodu.com"
+	Suffix string // its public suffix
+}
+
+// World is the assembled synthetic CT ecosystem.
+type World struct {
+	Cfg   Config
+	Clock *Clock
+	// Logs are the Table 1 logs by name.
+	Logs map[string]*ctlog.Log
+	// LogNames is the stable, Table 1-ordered name list.
+	LogNames []string
+	// CAs maps organization name to its issuing CA.
+	CAs map[string]*ca.CA
+	// Specs are the CA rate models and policies.
+	Specs []CASpec
+	// PSL is the public suffix list in force.
+	PSL *psl.List
+	// Domains is the registrable-domain population ("our domain list" in
+	// Section 4.1).
+	Domains []Domain
+
+	rng *rand.Rand
+}
+
+// New assembles a world.
+func New(cfg Config) (*World, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1e-4
+	}
+	if cfg.TimelineStart.IsZero() {
+		cfg.TimelineStart = Date(2015, 1, 1)
+	}
+	if cfg.TimelineEnd.IsZero() {
+		cfg.TimelineEnd = Date(2018, 5, 1)
+	}
+	if cfg.NumDomains <= 0 {
+		cfg.NumDomains = 20000
+	}
+	w := &World{
+		Cfg:   cfg,
+		Clock: NewClock(cfg.TimelineStart),
+		PSL:   psl.Default(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	logs, err := buildLogs(w.Clock, cfg.NimbusCapacity)
+	if err != nil {
+		return nil, err
+	}
+	w.Logs = logs
+	for _, spec := range logSpecs {
+		w.LogNames = append(w.LogNames, spec.name)
+	}
+
+	w.Specs = DefaultCASpecs()
+	w.CAs = make(map[string]*ca.CA, len(w.Specs))
+	for _, spec := range w.Specs {
+		// The per-issuance policy overrides these defaults, but the CA
+		// needs at least one configured log.
+		anyLog := []ca.LogSubmitter{w.Logs[LogGooglePilot]}
+		c, err := ca.New(ca.Config{
+			Name:  spec.Org + " Authority",
+			Org:   spec.Org,
+			Logs:  anyLog,
+			Clock: w.Clock.Now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.CAs[spec.Org] = c
+	}
+
+	w.Domains = make([]Domain, cfg.NumDomains)
+	for i := range w.Domains {
+		suffix := SuffixFor(w.rng)
+		w.Domains[i] = Domain{Name: DomainName(i) + "." + suffix, Suffix: suffix}
+	}
+	return w, nil
+}
+
+// submitters resolves log names to LogSubmitters.
+func (w *World) submitters(names []string) []ca.LogSubmitter {
+	out := make([]ca.LogSubmitter, 0, len(names))
+	for _, n := range names {
+		if l, ok := w.Logs[n]; ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// RandomDomain draws a domain from the population.
+func (w *World) RandomDomain(rng *rand.Rand) Domain {
+	return w.Domains[rng.Intn(len(w.Domains))]
+}
+
+// DomainRNG returns a rand.Rand seeded deterministically by the world
+// seed and the domain name, so per-domain properties are stable across
+// issuances.
+func (w *World) DomainRNG(domain string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	return rand.New(rand.NewSource(w.Cfg.Seed ^ int64(h.Sum64())))
+}
+
+// RunTimeline replays the issuance timeline day by day: every CA issues
+// at its model's (scaled) rate through its log policy, names drawn from
+// the domain population under the Table 2 label model. STHs are published
+// at the end of each day. onDay, if non-nil, observes each completed day.
+func (w *World) RunTimeline(onDay func(day time.Time)) error {
+	day := w.Cfg.TimelineStart
+	for day.Before(w.Cfg.TimelineEnd) {
+		// Noon, so all issuance timestamps fall on the correct day.
+		w.Clock.Set(day.Add(12 * time.Hour))
+		for _, spec := range w.Specs {
+			// Day- and CA-seeded rng so per-day burst draws are stable
+			// regardless of other CAs' consumption of randomness.
+			dayRng := rand.New(rand.NewSource(w.Cfg.Seed ^ day.Unix() ^ int64(len(spec.Org))))
+			rate := spec.Model.Rate(day, dayRng) * w.Cfg.Scale
+			n := int(rate)
+			if dayRng.Float64() < rate-float64(n) {
+				n++
+			}
+			caInst := w.CAs[spec.Org]
+			for i := 0; i < n; i++ {
+				domain := w.RandomDomain(dayRng)
+				// A domain's certified name set is a stable property:
+				// re-issuances for the same domain cover the same names,
+				// so the deduplicated corpus keeps the Table 2 label
+				// ratios instead of saturating toward the union.
+				names := NamesForDomain(w.DomainRNG(domain.Name), domain.Name, domain.Suffix)
+				_, err := caInst.Issue(ca.Request{
+					Names:     names,
+					EmbedSCTs: !day.Before(Date(2018, 1, 1)),
+					Logs:      w.submitters(spec.Policy(dayRng)),
+				})
+				if err != nil {
+					// Overloaded logs drop the submission; the CA retries
+					// nothing, which is what the Nimbus incident looked
+					// like from the outside. All other errors are fatal.
+					if errors.Is(err, ctlog.ErrOverloaded) {
+						continue
+					}
+					return fmt.Errorf("ecosystem: %s on %s: %w", spec.Org, day.Format("2006-01-02"), err)
+				}
+			}
+		}
+		w.Clock.Set(day.Add(24 * time.Hour))
+		for _, l := range w.Logs {
+			if _, err := l.PublishSTH(); err != nil {
+				return err
+			}
+		}
+		if onDay != nil {
+			onDay(day)
+		}
+		day = day.AddDate(0, 0, 1)
+	}
+	return nil
+}
+
+// Verifiers returns the SCT verifier map over all logs, as the Section
+// 3.4 detector needs.
+func (w *World) Verifiers() map[sct.LogID]sct.SCTVerifier {
+	out := make(map[sct.LogID]sct.SCTVerifier, len(w.Logs))
+	for _, l := range w.Logs {
+		out[l.LogID()] = l.Verifier()
+	}
+	return out
+}
+
+// TotalEntries sums the tree sizes of all logs.
+func (w *World) TotalEntries() uint64 {
+	var total uint64
+	for _, l := range w.Logs {
+		total += l.TreeSize()
+	}
+	return total
+}
+
+// LogsBySize returns log names sorted by tree size, largest first —
+// useful for assertions about load concentration.
+func (w *World) LogsBySize() []string {
+	names := append([]string(nil), w.LogNames...)
+	sort.Slice(names, func(i, j int) bool {
+		si, sj := w.Logs[names[i]].TreeSize(), w.Logs[names[j]].TreeSize()
+		if si != sj {
+			return si > sj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ctrise/internal/ecosystem"
+)
+
+// One shared suite keeps the world replay cost paid once across tests.
+var shared = NewSuite(Options{Seed: 2018, NumDomains: 8000})
+
+func TestFigure1Shapes(t *testing.T) {
+	r, err := shared.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalPrecerts == 0 {
+		t.Fatal("no precerts harvested")
+	}
+	le := r.Cumulative[ecosystem.CALetsEncrypt]
+	dc := r.Cumulative[ecosystem.CADigiCert]
+	if len(le) == 0 || len(dc) == 0 {
+		t.Fatal("missing series")
+	}
+	// Figure 1a: LE is flat at zero for most of the timeline, then
+	// overtakes everyone after March 2018.
+	mid := le[len(le)/2]
+	if mid != 0 {
+		t.Errorf("LE cumulative at midpoint = %v, want 0 (starts 2018-03)", mid)
+	}
+	if le[len(le)-1] <= dc[len(dc)-1] {
+		t.Errorf("LE final %v <= DigiCert final %v", le[len(le)-1], dc[len(dc)-1])
+	}
+	// DigiCert grows from early on.
+	if dc[len(dc)/2] == 0 {
+		t.Error("DigiCert flat at midpoint; should have logged since 2015")
+	}
+	// Figure 1b: on the last day LE dominates the daily share.
+	leShare := r.DailyShare[ecosystem.CALetsEncrypt]
+	if leShare[len(leShare)-1] < 0.5 {
+		t.Errorf("LE final daily share = %v", leShare[len(leShare)-1])
+	}
+	// Figure 1c: sparse — LE publishes into few logs; Nimbus2018 carries
+	// LE load.
+	if r.HeatCount(ecosystem.CALetsEncrypt, ecosystem.LogNimbus2018) == 0 {
+		t.Error("LE×Nimbus2018 cell empty")
+	}
+	nonzero := 0
+	for _, org := range r.HeatOrgs {
+		for _, log := range r.HeatLogs {
+			if r.HeatCount(org, log) > 0 {
+				nonzero++
+			}
+		}
+	}
+	total := len(r.HeatOrgs) * len(r.HeatLogs)
+	if nonzero*2 > total {
+		t.Errorf("heatmap not sparse: %d/%d cells populated", nonzero, total)
+	}
+	for _, render := range []string{r.RenderFigure1a(), r.RenderFigure1b(), r.RenderFigure1c()} {
+		if render == "" {
+			t.Error("empty render")
+		}
+	}
+}
+
+func TestTrafficShapes(t *testing.T) {
+	r := shared.Traffic()
+	if r.Totals.Connections == 0 || len(r.Figure2) < 300 || len(r.Table1) != 15 {
+		t.Fatalf("traffic result: %+v", r.Totals)
+	}
+	pct := 100 * float64(r.Totals.WithSCT) / float64(r.Totals.Connections)
+	if pct < 30 || pct > 36 {
+		t.Errorf("SCT share = %.1f%%", pct)
+	}
+	for _, s := range []string{r.RenderFigure2(), r.RenderTable1(), r.RenderTotals()} {
+		if s == "" {
+			t.Error("empty render")
+		}
+	}
+	if !strings.Contains(r.RenderTable1(), "Google Pilot log") {
+		t.Error("Table 1 missing Pilot")
+	}
+}
+
+func TestScanShapes(t *testing.T) {
+	r, err := shared.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	embedPct := 100 * float64(r.Stats.WithEmbeddedSCT) / float64(r.Stats.TotalCerts)
+	if embedPct < 64 || embedPct > 74 {
+		t.Errorf("embedded = %.1f%%, want ≈68.7%%", embedPct)
+	}
+	if len(r.Invalid) != 16 || len(r.ByCA) != 4 {
+		t.Errorf("invalid = %d from %d CAs, want 16 from 4", len(r.Invalid), len(r.ByCA))
+	}
+	// Chrome CT policy: most embedded-SCT certs comply (post-deadline
+	// issuance), but not all — single-operator log sets and the 16
+	// misissued certificates fail.
+	if r.PolicyChecked == 0 {
+		t.Fatal("no certificates policy-checked")
+	}
+	rate := float64(r.PolicyCompliant) / float64(r.PolicyChecked)
+	if rate < 0.5 || rate >= 1.0 {
+		t.Errorf("policy compliance = %.2f, want substantial but <100%%", rate)
+	}
+	if !strings.Contains(r.RenderSection34(), "16") {
+		t.Error("Section 3.4 render missing total")
+	}
+	if r.RenderSection33() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSection4Shapes(t *testing.T) {
+	r, err := shared.Section4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: www first, mail second, cPanel cluster next.
+	if len(r.Table2) != 20 {
+		t.Fatalf("Table 2 rows = %d", len(r.Table2))
+	}
+	if r.Table2[0].Key != "www" || r.Table2[1].Key != "mail" {
+		t.Fatalf("top labels = %s, %s", r.Table2[0].Key, r.Table2[1].Key)
+	}
+	top5 := map[string]bool{}
+	for _, kv := range r.Table2[:6] {
+		top5[kv.Key] = true
+	}
+	for _, want := range []string{"webdisk", "webmail", "cpanel"} {
+		if !top5[want] {
+			t.Errorf("%s not in top 6: %v", want, r.Table2[:6])
+		}
+	}
+	// www dominance.
+	if r.Table2[0].Count < 4*r.Table2[1].Count {
+		t.Errorf("www=%d mail=%d: www should dominate", r.Table2[0].Count, r.Table2[1].Count)
+	}
+	// Section 4.2 suffix affinities.
+	if r.TopPerSuffix["tech"] != "git" {
+		t.Errorf("top label for .tech = %q, want git", r.TopPerSuffix["tech"])
+	}
+	// Wordlists are nearly useless (16 and 12 hits of 101k/1.9k at paper
+	// scale; here: only the generic entries hit).
+	if r.SubbruteHits > 4 || r.DNSReconHits > 3 {
+		t.Errorf("wordlist hits = %d/%d", r.SubbruteHits, r.DNSReconHits)
+	}
+	// Funnel shape: answers ≈38%, controls ≈29%, new ≈9%.
+	f := r.Funnel
+	ansPct := 100 * float64(f.TestAnswers) / float64(f.Constructed)
+	ctlPct := 100 * float64(f.ControlAnswers) / float64(f.Constructed)
+	newPct := 100 * float64(len(f.NewFQDNs)) / float64(f.Constructed)
+	if ansPct < 30 || ansPct > 46 {
+		t.Errorf("answers = %.1f%%, want ≈38%%", ansPct)
+	}
+	if ctlPct < 23 || ctlPct > 35 {
+		t.Errorf("controls = %.1f%%, want ≈29%%", ctlPct)
+	}
+	if newPct < 5 || newPct > 14 {
+		t.Errorf("new FQDNs = %.1f%%, want ≈9%%", newPct)
+	}
+	// Most new FQDNs are unknown to Sonar (94% in the paper).
+	if r.SonarNew < r.SonarKnown*5 {
+		t.Errorf("sonar: known=%d new=%d", r.SonarKnown, r.SonarNew)
+	}
+	// Section 4.1 overlaps: ≈82% domains, low label overlap.
+	if r.DomainOverlap < 75 || r.DomainOverlap > 89 {
+		t.Errorf("domain overlap = %.1f%%, want ≈82%%", r.DomainOverlap)
+	}
+	if r.LabelOverlap > 60 {
+		t.Errorf("label overlap = %.1f%%, want low (21%% in paper)", r.LabelOverlap)
+	}
+	if r.RenderTable2() == "" || r.RenderSection43() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	r, err := shared.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apple := r.Report.PerService.Get("Apple")
+	paypal := r.Report.PerService.Get("PayPal")
+	ms := r.Report.PerService.Get("Microsoft")
+	if !(apple > paypal && paypal > 10*ms) {
+		t.Errorf("ordering: apple=%d paypal=%d ms=%d", apple, paypal, ms)
+	}
+	if r.RenderTable3() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	r, err := shared.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 11 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.DeltaDNS.Seconds() < 60 || row.DeltaDNS.Seconds() > 220 {
+			t.Errorf("row %s ΔDNS = %v", row.Name, row.DeltaDNS)
+		}
+	}
+	if r.RenderTable4() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	a := NewSuite(Options{Seed: 7, NumDomains: 1000})
+	b := NewSuite(Options{Seed: 7, NumDomains: 1000})
+	ra, err := a.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.TotalPrecerts != rb.TotalPrecerts {
+		t.Fatalf("nondeterministic: %d vs %d", ra.TotalPrecerts, rb.TotalPrecerts)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"sort"
+
+	"ctrise/internal/ecosystem"
+	"ctrise/internal/report"
+)
+
+// Figure1Result holds the three Section 2 artifacts.
+type Figure1Result struct {
+	// Days is the shared x-axis.
+	Days []string
+	// Cumulative is Figure 1a: per-org cumulative precertificates.
+	Cumulative map[string][]float64
+	// DailyShare is Figure 1b: per-org share of each day's logging.
+	DailyShare map[string][]float64
+	// HeatOrgs/HeatLogs/HeatCount back Figure 1c: April 2018 precert
+	// counts per (CA organization, log).
+	HeatOrgs  []string
+	HeatLogs  []string
+	HeatCount func(org, log string) float64
+	// TotalPrecerts is the harvested precert count.
+	TotalPrecerts uint64
+}
+
+// Figure1 replays the timeline (cached in the Suite) and aggregates the
+// three artifacts.
+func (s *Suite) Figure1() (*Figure1Result, error) {
+	w, h, err := s.World()
+	if err != nil {
+		return nil, err
+	}
+	days, cumulative := h.CumulativeByOrg()
+	_, share := h.DailyShareByOrg()
+
+	orgs := make([]string, 0, len(h.PrecertsByOrgLog))
+	for org := range h.PrecertsByOrgLog {
+		orgs = append(orgs, org)
+	}
+	sort.Strings(orgs)
+	counts := h.PrecertsByOrgLog
+	return &Figure1Result{
+		Days:       days,
+		Cumulative: cumulative,
+		DailyShare: share,
+		HeatOrgs:   orgs,
+		HeatLogs:   w.LogNames,
+		HeatCount: func(org, log string) float64 {
+			c := counts[org]
+			if c == nil {
+				return 0
+			}
+			return float64(c.Get(log))
+		},
+		TotalPrecerts: h.TotalPrecerts,
+	}, nil
+}
+
+// RenderFigure1a renders the cumulative-growth figure.
+func (r *Figure1Result) RenderFigure1a() string {
+	fig := &report.Figure{
+		Title:  "Figure 1a: cumulative logged precertificates by CA (scaled)",
+		XLabel: "day",
+		X:      r.Days,
+	}
+	for _, org := range orderedOrgs(r.Cumulative) {
+		fig.Series = append(fig.Series, report.Series{Name: org, Points: r.Cumulative[org]})
+	}
+	return fig.Render()
+}
+
+// RenderFigure1b renders the relative daily update-rate figure.
+func (r *Figure1Result) RenderFigure1b() string {
+	fig := &report.Figure{
+		Title:  "Figure 1b: relative update rate per CA and day",
+		XLabel: "day",
+		X:      r.Days,
+	}
+	for _, org := range orderedOrgs(r.DailyShare) {
+		fig.Series = append(fig.Series, report.Series{Name: org, Points: r.DailyShare[org]})
+	}
+	return fig.Render()
+}
+
+// RenderFigure1c renders the CA×log heatmap.
+func (r *Figure1Result) RenderFigure1c() string {
+	hm := &report.Heatmap{
+		Title: "Figure 1c: precertificate logging by CA over CT logs, April 2018",
+		Rows:  r.HeatOrgs,
+		Cols:  r.HeatLogs,
+		Value: r.HeatCount,
+	}
+	return hm.Render()
+}
+
+// orderedOrgs returns series keys with the paper's five named CAs first.
+func orderedOrgs(m map[string][]float64) []string {
+	preferred := []string{
+		ecosystem.CALetsEncrypt, ecosystem.CADigiCert, ecosystem.CAComodo,
+		ecosystem.CAGlobalSign, ecosystem.CAStartCom, ecosystem.CAOther,
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, org := range preferred {
+		if _, ok := m[org]; ok {
+			out = append(out, org)
+			seen[org] = true
+		}
+	}
+	var rest []string
+	for org := range m {
+		if !seen[org] {
+			rest = append(rest, org)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}

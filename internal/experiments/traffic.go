@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ctrise/internal/report"
+	"ctrise/internal/stats"
+	"ctrise/internal/tlsmon"
+)
+
+// TrafficResult backs Figure 2 and Table 1.
+type TrafficResult struct {
+	Totals  tlsmon.Totals
+	Figure2 []tlsmon.Figure2Point
+	Table1  []tlsmon.Table1Row
+}
+
+// Traffic runs the 13-month passive measurement: the generator replays
+// the UCB-uplink workload shape into the Bro-like monitor.
+func (s *Suite) Traffic() *TrafficResult {
+	m := tlsmon.NewMonitor()
+	tlsmon.Generate(tlsmon.GenConfig{
+		Seed:        s.opts.Seed,
+		ConnsPerDay: int(680 * s.opts.Scale),
+	}, m.Observe)
+	return &TrafficResult{
+		Totals:  m.Totals(),
+		Figure2: m.Figure2(),
+		Table1:  m.Table1(15),
+	}
+}
+
+// RenderFigure2 renders the daily SCT-share figure.
+func (r *TrafficResult) RenderFigure2() string {
+	fig := &report.Figure{
+		Title:  "Figure 2: percent of daily connections containing an SCT",
+		XLabel: "day",
+	}
+	var days []string
+	var total, cert, tls []float64
+	for _, p := range r.Figure2 {
+		days = append(days, p.Day)
+		total = append(total, p.TotalSCTPct)
+		cert = append(cert, p.CertPct)
+		tls = append(tls, p.TLSPct)
+	}
+	fig.X = days
+	fig.Series = []report.Series{
+		{Name: "Total_SCT", Points: total},
+		{Name: "SCT_in_Cert", Points: cert},
+		{Name: "SCT_in_TLS", Points: tls},
+	}
+	return fig.Render()
+}
+
+// RenderTable1 renders the top-15 log table.
+func (r *TrafficResult) RenderTable1() string {
+	tbl := &report.Table{
+		Title:   "Table 1: top 15 CT logs by number of observed connections",
+		Headers: []string{"CT Log", "Cert SCTs", "%", "TLS SCTs", "%"},
+	}
+	for _, row := range r.Table1 {
+		tbl.AddRow(
+			row.Log,
+			report.Humanize(float64(row.CertSCTs)),
+			fmt.Sprintf("%.2f%%", row.CertPct),
+			report.Humanize(float64(row.TLSSCTs)),
+			fmt.Sprintf("%.2f%%", row.TLSPct),
+		)
+	}
+	return tbl.Render()
+}
+
+// RenderTotals renders the Section 3.2 headline counters.
+func (r *TrafficResult) RenderTotals() string {
+	t := r.Totals
+	tbl := &report.Table{
+		Title:   "Section 3.2: connection totals",
+		Headers: []string{"Metric", "Count", "Share"},
+	}
+	row := func(name string, v uint64) {
+		tbl.AddRow(name, report.Humanize(float64(v)), fmt.Sprintf("%.2f%%", stats.Percent(v, t.Connections)))
+	}
+	row("connections", t.Connections)
+	row("with >=1 SCT", t.WithSCT)
+	row("SCT in certificate", t.CertSCT)
+	row("SCT in TLS extension", t.TLSSCT)
+	row("SCT in stapled OCSP", t.OCSPSCT)
+	row("cert+TLS overlap", t.CertAndTLS)
+	row("TLS+OCSP overlap", t.TLSAndOCSP)
+	row("client signals SCT support", t.ClientSupport)
+	return tbl.Render()
+}

@@ -1,0 +1,259 @@
+package honeypot
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ctrise/internal/asn"
+	"ctrise/internal/dnsmsg"
+)
+
+// AgentMode distinguishes near-real-time stream monitors (CertStream-like
+// backends) from batch jobs — the two reaction-latency populations
+// Section 6.2 identifies.
+type AgentMode uint8
+
+// Agent modes.
+const (
+	ModeStream AgentMode = iota
+	ModeBatch
+)
+
+// Agent models one CT-watching third party.
+type Agent struct {
+	Name string
+	AS   uint32
+	Mode AgentMode
+	// Coverage is the probability the agent reacts to a given honeypot
+	// subdomain (the 76 batch ASes hit only 1–2 of 11 domains).
+	Coverage float64
+	// DelayMin/DelayMax bound the time from CT log entry to the agent's
+	// first DNS query.
+	DelayMin, DelayMax time.Duration
+	// QueryTypes are the record types queried; default {A, AAAA}.
+	QueryTypes []dnsmsg.Type
+	// RepeatQueries is the number of follow-up query rounds spread over
+	// the capture window.
+	RepeatQueries int
+	// ViaGoogleDNS routes queries through Google Public DNS: the
+	// authoritative server sees AS 15169 with this agent's /24 in the
+	// EDNS Client Subnet field.
+	ViaGoogleDNS bool
+	// ECSSubnet is the client subnet revealed when ViaGoogleDNS is set.
+	ECSSubnet string
+	// HTTPDelayMin/Max, when positive, schedule an HTTP(S) connection.
+	HTTPDelayMin, HTTPDelayMax time.Duration
+	// ScanPorts, when positive, port-scans this many ports after
+	// resolving.
+	ScanPorts int
+}
+
+// DefaultAgents returns the attacker population calibrated to Table 4
+// and Section 6.2.
+func DefaultAgents() []Agent {
+	agents := []Agent{
+		// Google appears first on every row (≈73–197 s).
+		{Name: "google-monitor", AS: asn.ASGoogle, Mode: ModeStream, Coverage: 1,
+			DelayMin: 70 * time.Second, DelayMax: 200 * time.Second, RepeatQueries: 4},
+		// 1&1 is second on most rows, within minutes.
+		{Name: "oneandone", AS: asn.ASOneAndOne, Mode: ModeStream, Coverage: 1,
+			DelayMin: 3 * time.Minute, DelayMax: 10 * time.Minute, RepeatQueries: 3},
+		{Name: "amazon", AS: asn.ASAmazon, Mode: ModeStream, Coverage: 1,
+			DelayMin: 4 * time.Minute, DelayMax: 12 * time.Minute, RepeatQueries: 2},
+		{Name: "digitalocean", AS: asn.ASDigitalOcean, Mode: ModeStream, Coverage: 1,
+			DelayMin: 100 * time.Minute, DelayMax: 140 * time.Minute, RepeatQueries: 2,
+			HTTPDelayMin: 59 * time.Minute, HTTPDelayMax: 125 * time.Minute},
+		{Name: "amazon-web", AS: asn.ASAmazonAES, Mode: ModeStream, Coverage: 0.4,
+			DelayMin: 10 * time.Minute, DelayMax: 30 * time.Minute,
+			HTTPDelayMin: 70 * time.Minute, HTTPDelayMax: 130 * time.Minute},
+		// Deteque (Spamhaus DNS threat intelligence): 9 of 11 domains.
+		{Name: "deteque", AS: asn.ASDeteque, Mode: ModeStream, Coverage: 0.82,
+			DelayMin: 2 * time.Minute, DelayMax: 12 * time.Minute, RepeatQueries: 3},
+		// OpenDNS: 7 of 11 domains.
+		{Name: "opendns", AS: asn.ASOpenDNS, Mode: ModeStream, Coverage: 0.64,
+			DelayMin: 5 * time.Minute, DelayMax: 12 * time.Minute, RepeatQueries: 2},
+		{Name: "petersburg", AS: asn.ASPetersburg, Mode: ModeStream, Coverage: 0.3,
+			DelayMin: 2 * time.Minute, DelayMax: 9 * time.Minute},
+		// Stub resolvers behind Google Public DNS (Section 6.2): Hetzner
+		// queries A, AAAA, MX, NS, SOA within minutes.
+		{Name: "hetzner-stub", AS: asn.ASHetzner, Mode: ModeStream, Coverage: 0.35,
+			DelayMin: 3 * time.Minute, DelayMax: 8 * time.Minute,
+			QueryTypes:   []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA, dnsmsg.TypeMX, dnsmsg.TypeNS, dnsmsg.TypeSOA},
+			ViaGoogleDNS: true, ECSSubnet: "10.24.33.0/24", RepeatQueries: 5},
+		{Name: "online-sas", AS: asn.ASOnlineSAS, Mode: ModeStream, Coverage: 0.2,
+			DelayMin: 4 * time.Minute, DelayMax: 10 * time.Minute},
+		{Name: "acn", AS: asn.ASACN, Mode: ModeStream, Coverage: 0.2,
+			DelayMin: 5 * time.Minute, DelayMax: 11 * time.Minute},
+		// Quasi Networks: resolves rapidly via Google Public DNS (ECS),
+		// then port-scans 30 ports over IPv4 — the "likely malicious"
+		// scanner of Section 6.2.
+		{Name: "quasi-scanner", AS: asn.ASQuasi, Mode: ModeStream, Coverage: 0.25,
+			DelayMin: 3 * time.Minute, DelayMax: 9 * time.Minute,
+			ViaGoogleDNS: true, ECSSubnet: "10.29.77.0/24", RepeatQueries: 4,
+			ScanPorts: 30},
+		// Three more Google-DNS client subnets connecting to 443 only.
+		{Name: "ecs-443-a", AS: 61001, Mode: ModeBatch, Coverage: 0.5,
+			DelayMin: time.Hour, DelayMax: 3 * time.Hour,
+			ViaGoogleDNS: true, ECSSubnet: "10.61.1.0/24",
+			HTTPDelayMin: 2 * time.Hour, HTTPDelayMax: 6 * time.Hour},
+		{Name: "ecs-443-b", AS: 61002, Mode: ModeBatch, Coverage: 0.4,
+			DelayMin: 90 * time.Minute, DelayMax: 4 * time.Hour,
+			ViaGoogleDNS: true, ECSSubnet: "10.61.2.0/24",
+			HTTPDelayMin: 3 * time.Hour, HTTPDelayMax: 8 * time.Hour},
+		{Name: "ecs-443-c", AS: 61003, Mode: ModeBatch, Coverage: 0.35,
+			DelayMin: 2 * time.Hour, DelayMax: 5 * time.Hour,
+			ViaGoogleDNS: true, ECSSubnet: "10.61.3.0/24",
+			HTTPDelayMin: 4 * time.Hour, HTTPDelayMax: 9 * time.Hour},
+	}
+	// Nine rarely-seen Google-DNS client subnets, each used 1–2 times
+	// ("the remaining 9 are only used 1-2 times").
+	for i := 0; i < 9; i++ {
+		agents = append(agents, Agent{
+			Name:     fmt.Sprintf("ecs-rare-%d", i),
+			AS:       uint32(62000 + i),
+			Mode:     ModeBatch,
+			Coverage: 0.12,
+			DelayMin: 45 * time.Minute, DelayMax: 20 * time.Hour,
+			QueryTypes:   []dnsmsg.Type{dnsmsg.TypeA},
+			ViaGoogleDNS: true, ECSSubnet: fmt.Sprintf("10.62.%d.0/24", i),
+		})
+	}
+	// The 76 anonymous batch ASes: 1–2 domains each, almost never before
+	// one hour, 62% not before two hours.
+	for i := 0; i < 76; i++ {
+		delayMin := time.Hour
+		if i%3 == 0 {
+			delayMin = 65 * time.Minute
+		} else {
+			delayMin = 2 * time.Hour
+		}
+		agents = append(agents, Agent{
+			Name:     fmt.Sprintf("batch-%02d", i),
+			AS:       uint32(60000 + i),
+			Mode:     ModeBatch,
+			Coverage: 0.14, // ≈1.5 of 11 domains
+			DelayMin: delayMin,
+			DelayMax: delayMin + 10*time.Hour,
+		})
+	}
+	return agents
+}
+
+// SimConfig parameterizes the attacker simulation.
+type SimConfig struct {
+	Seed int64
+	// CaptureUntil bounds the observation window (the paper captures
+	// until 2018-05-15 14:00 UTC).
+	CaptureUntil time.Time
+	// LateHTTPOutliers marks subdomain indexes whose first HTTP contact
+	// is delayed by days (rows C and G in Table 4: 19d and 5d).
+	LateHTTPOutliers map[int]time.Duration
+}
+
+// Simulate runs the agent population against the honeypot's CT-logged
+// subdomains, producing the DNS-query and connection records the paper's
+// monitors captured. It is a deterministic discrete-event simulation over
+// virtual time: agents observe each log entry after their mode's delay,
+// resolve the name (leaking ECS where applicable), and some connect or
+// scan.
+func Simulate(h *Honeypot, agents []Agent, cfg SimConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.CaptureUntil.IsZero() && len(h.Subs) > 0 {
+		cfg.CaptureUntil = h.Subs[len(h.Subs)-1].CTLogTime.Add(15 * 24 * time.Hour)
+	}
+	for si, sub := range h.Subs {
+		// The fastest stream agent defines the row's Δt; Table 4 shows
+		// Google first on every row, so keep agent order stable and let
+		// Google's delay draw be the minimum below.
+		for _, ag := range agents {
+			if rng.Float64() >= ag.Coverage {
+				continue
+			}
+			delay := randDuration(rng, ag.DelayMin, ag.DelayMax)
+			first := sub.CTLogTime.Add(delay)
+			if first.After(cfg.CaptureUntil) {
+				continue
+			}
+			emitQueries(h, rng, si, ag, first, cfg.CaptureUntil)
+			if ag.HTTPDelayMin > 0 {
+				httpDelay := randDuration(rng, ag.HTTPDelayMin, ag.HTTPDelayMax)
+				if extra, ok := cfg.LateHTTPOutliers[si]; ok {
+					httpDelay += extra
+				}
+				at := sub.CTLogTime.Add(httpDelay)
+				if !at.After(cfg.CaptureUntil) {
+					h.RecordConn(ConnEvent{Time: at, Sub: si, AS: ag.AS, Port: 443, HTTP: true})
+				}
+			}
+			if ag.ScanPorts > 0 {
+				scanStart := first.Add(randDuration(rng, time.Minute, 30*time.Minute))
+				// The port set is a property of the scanner, stable across
+				// targets (the paper's host scanned the same 30 ports on
+				// both machines).
+				ports := scanPortSet(rand.New(rand.NewSource(int64(ag.AS))), ag.ScanPorts)
+				for k, p := range ports {
+					at := scanStart.Add(time.Duration(k) * 7 * time.Second)
+					if at.After(cfg.CaptureUntil) {
+						break
+					}
+					// SYN probes, not application-layer HTTP: they do not
+					// count toward the Table 4 HTTP(S) column.
+					h.RecordConn(ConnEvent{Time: at, Sub: si, AS: ag.AS, Port: p})
+				}
+			}
+		}
+	}
+}
+
+func emitQueries(h *Honeypot, rng *rand.Rand, si int, ag Agent, first, until time.Time) {
+	types := ag.QueryTypes
+	if len(types) == 0 {
+		types = []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA}
+	}
+	rounds := 1 + ag.RepeatQueries
+	for r := 0; r < rounds; r++ {
+		at := first
+		if r > 0 {
+			// Follow-ups spread over the remaining window.
+			at = first.Add(randDuration(rng, time.Hour, 20*24*time.Hour))
+			if at.After(until) {
+				continue
+			}
+		}
+		for _, qt := range types {
+			ev := DNSEvent{Time: at, Sub: si, AS: ag.AS, Type: qt}
+			if ag.ViaGoogleDNS {
+				// The authoritative server sees Google's resolver with the
+				// agent's subnet in ECS.
+				ev.AS = asn.ASGoogle
+				ev.ECS = ag.ECSSubnet
+			}
+			h.RecordDNS(ev)
+			at = at.Add(randDuration(rng, time.Second, 20*time.Second))
+		}
+	}
+}
+
+func randDuration(rng *rand.Rand, min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(rng.Int63n(int64(max-min)))
+}
+
+// scanPortSet returns n distinct ports, always including 22, 80 and 443.
+func scanPortSet(rng *rand.Rand, n int) []int {
+	set := map[int]bool{22: true, 80: true, 443: true}
+	pool := []int{21, 23, 25, 53, 110, 135, 139, 143, 445, 993, 995, 1433, 1723, 3306, 3389, 5060, 5432, 5900, 6379, 8080, 8443, 8888, 9200, 11211, 27017, 465, 587, 2222, 8000}
+	for len(set) < n && len(set) < len(pool)+3 {
+		set[pool[rng.Intn(len(pool))]] = true
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,406 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 6962 test vectors (from the reference implementation's test suite):
+// the tree over the 8 leaf inputs below.
+var rfcLeaves = [][]byte{
+	{},
+	{0x00},
+	{0x10},
+	{0x20, 0x21},
+	{0x30, 0x31},
+	{0x40, 0x41, 0x42, 0x43},
+	{0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57},
+	{0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x6b, 0x6c, 0x6d, 0x6e, 0x6f},
+}
+
+var rfcRoots = []string{
+	"6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d",
+	"fac54203e7cc696cf0dfcb42c92a1d9dbaf70ad9e621f4bd8d98662f00e3c125",
+	"aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77",
+	"d37ee418976dd95753c1c73862b9398fa2a2cf9b4ff0fdfe8b30cd95209614b7",
+	"4e3bbb1f7b478dcfe71fb631631519a3bca12c9aefca1612bfce4c13a86264d4",
+	"76e67dadbcdf1e10e1b74ddc608abd2f98dfb16fbce75277b5232a127f2087ef",
+	"ddb89be403809e325750d3d263cd78929c2942b7942a34b77e122c9594a74c8c",
+	"5dc9da79a70659a9ad559cb701ded9a2ab9d823aad2f4960cfe370eff4604328",
+}
+
+func buildRFC(t *testing.T, n int) *Tree {
+	t.Helper()
+	tr := New()
+	for i := 0; i < n; i++ {
+		tr.AppendData(rfcLeaves[i])
+	}
+	return tr
+}
+
+func TestEmptyRoot(t *testing.T) {
+	want := sha256.Sum256(nil)
+	if got := New().Root(); got != Hash(want) {
+		t.Fatalf("empty root = %s", got)
+	}
+	if got := EmptyRoot(); got != Hash(want) {
+		t.Fatalf("EmptyRoot = %s", got)
+	}
+}
+
+func TestRFC6962Roots(t *testing.T) {
+	tr := New()
+	for i, leaf := range rfcLeaves {
+		tr.AppendData(leaf)
+		want, err := hex.DecodeString(rfcRoots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Root()
+		if hex.EncodeToString(got[:]) != rfcRoots[i] {
+			t.Errorf("size %d: root = %x, want %x", i+1, got, want)
+		}
+	}
+}
+
+func TestRootAtMatchesIncremental(t *testing.T) {
+	tr := buildRFC(t, 8)
+	for n := 1; n <= 8; n++ {
+		got, err := tr.RootAt(uint64(n))
+		if err != nil {
+			t.Fatalf("RootAt(%d): %v", n, err)
+		}
+		if hex.EncodeToString(got[:]) != rfcRoots[n-1] {
+			t.Errorf("RootAt(%d) = %s, want %s", n, got, rfcRoots[n-1])
+		}
+	}
+}
+
+func TestRootAtZero(t *testing.T) {
+	tr := buildRFC(t, 3)
+	got, err := tr.RootAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != EmptyRoot() {
+		t.Fatalf("RootAt(0) = %s", got)
+	}
+}
+
+func TestRootAtOutOfRange(t *testing.T) {
+	tr := buildRFC(t, 3)
+	if _, err := tr.RootAt(4); err == nil {
+		t.Fatal("expected error for RootAt past size")
+	}
+}
+
+// RFC 6962 Section 2.1.3 example audit paths for the 7-leaf tree built from
+// the first 7 rfcLeaves, expressed structurally: verify every (i, n) pair.
+func TestInclusionProofAllPairs(t *testing.T) {
+	tr := buildRFC(t, 8)
+	for n := uint64(1); n <= 8; n++ {
+		root, err := tr.RootAt(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < n; i++ {
+			proof, err := tr.InclusionProof(i, n)
+			if err != nil {
+				t.Fatalf("InclusionProof(%d,%d): %v", i, n, err)
+			}
+			leaf := HashLeaf(rfcLeaves[i])
+			if err := VerifyInclusion(leaf, i, n, proof, root); err != nil {
+				t.Errorf("VerifyInclusion(%d,%d): %v", i, n, err)
+			}
+		}
+	}
+}
+
+func TestInclusionProofRejectsWrongLeaf(t *testing.T) {
+	tr := buildRFC(t, 8)
+	root := tr.Root()
+	proof, err := tr.InclusionProof(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := HashLeaf([]byte("not the leaf"))
+	if err := VerifyInclusion(wrong, 2, 8, proof, root); err == nil {
+		t.Fatal("verification should fail for wrong leaf")
+	}
+}
+
+func TestInclusionProofRejectsWrongIndex(t *testing.T) {
+	tr := buildRFC(t, 8)
+	root := tr.Root()
+	proof, err := tr.InclusionProof(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := HashLeaf(rfcLeaves[2])
+	if err := VerifyInclusion(leaf, 3, 8, proof, root); err == nil {
+		t.Fatal("verification should fail for wrong index")
+	}
+}
+
+func TestInclusionProofRejectsTamperedProof(t *testing.T) {
+	tr := buildRFC(t, 8)
+	root := tr.Root()
+	proof, err := tr.InclusionProof(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof[0][3] ^= 0xff
+	if err := VerifyInclusion(HashLeaf(rfcLeaves[5]), 5, 8, proof, root); err == nil {
+		t.Fatal("verification should fail for tampered proof")
+	}
+}
+
+func TestInclusionProofErrors(t *testing.T) {
+	tr := buildRFC(t, 4)
+	if _, err := tr.InclusionProof(4, 4); err == nil {
+		t.Error("index == size should fail")
+	}
+	if _, err := tr.InclusionProof(0, 5); err == nil {
+		t.Error("size > tree should fail")
+	}
+	if _, err := VerifyInclusionSized(t, tr); err == nil {
+		_ = err
+	}
+}
+
+// VerifyInclusionSized is a helper exercising the proof-length check.
+func VerifyInclusionSized(t *testing.T, tr *Tree) (Hash, error) {
+	t.Helper()
+	leaf := HashLeaf(rfcLeaves[0])
+	// Proof of wrong length must be rejected.
+	return RootFromInclusionProof(leaf, 0, 4, []Hash{{}})
+}
+
+func TestConsistencyAllPairs(t *testing.T) {
+	tr := buildRFC(t, 8)
+	for m := uint64(1); m <= 8; m++ {
+		root1, _ := tr.RootAt(m)
+		for n := m; n <= 8; n++ {
+			root2, _ := tr.RootAt(n)
+			proof, err := tr.ConsistencyProof(m, n)
+			if err != nil {
+				t.Fatalf("ConsistencyProof(%d,%d): %v", m, n, err)
+			}
+			if err := VerifyConsistency(m, n, root1, root2, proof); err != nil {
+				t.Errorf("VerifyConsistency(%d,%d): %v", m, n, err)
+			}
+		}
+	}
+}
+
+func TestConsistencyRejectsForkedTree(t *testing.T) {
+	tr := buildRFC(t, 8)
+	// A forked tree shares the first 4 leaves, then diverges.
+	forked := New()
+	for i := 0; i < 4; i++ {
+		forked.AppendData(rfcLeaves[i])
+	}
+	for i := 4; i < 8; i++ {
+		forked.AppendData([]byte(fmt.Sprintf("divergent-%d", i)))
+	}
+	root1, _ := tr.RootAt(6) // not a prefix of forked at size 6
+	root2 := forked.Root()
+	proof, err := forked.ConsistencyProof(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyConsistency(6, 8, root1, root2, proof); err == nil {
+		t.Fatal("verification should fail: size-6 tree is not a prefix of forked tree")
+	}
+}
+
+func TestConsistencyEqualSizes(t *testing.T) {
+	tr := buildRFC(t, 5)
+	root, _ := tr.RootAt(5)
+	proof, err := tr.ConsistencyProof(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) != 0 {
+		t.Fatalf("proof for equal sizes should be empty, got %d nodes", len(proof))
+	}
+	if err := VerifyConsistency(5, 5, root, root, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistencyErrors(t *testing.T) {
+	tr := buildRFC(t, 4)
+	if _, err := tr.ConsistencyProof(0, 4); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := tr.ConsistencyProof(3, 5); err == nil {
+		t.Error("n > size should fail")
+	}
+	if _, err := tr.ConsistencyProof(4, 3); err == nil {
+		t.Error("m > n should fail")
+	}
+	if err := VerifyConsistency(3, 2, Hash{}, Hash{}, nil); err == nil {
+		t.Error("verify with m > n should fail")
+	}
+	if err := VerifyConsistency(2, 2, Hash{1}, Hash{2}, nil); err == nil {
+		t.Error("equal sizes different roots should fail")
+	}
+	if err := VerifyConsistency(0, 2, EmptyRoot(), Hash{2}, []Hash{{}}); err == nil {
+		t.Error("nonempty proof from empty tree should fail")
+	}
+	if err := VerifyConsistency(0, 2, EmptyRoot(), Hash{2}, nil); err != nil {
+		t.Errorf("empty tree consistency: %v", err)
+	}
+}
+
+func TestLeafHash(t *testing.T) {
+	tr := New()
+	idx := tr.AppendData([]byte("hello"))
+	if idx != 0 {
+		t.Fatalf("first index = %d", idx)
+	}
+	got, err := tr.LeafHash(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != HashLeaf([]byte("hello")) {
+		t.Fatal("leaf hash mismatch")
+	}
+	if _, err := tr.LeafHash(1); err == nil {
+		t.Fatal("out-of-range leaf hash should fail")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// A leaf containing what looks like two node hashes must not collide
+	// with the interior node over those hashes.
+	l, r := HashLeaf([]byte("l")), HashLeaf([]byte("r"))
+	node := HashChildren(l, r)
+	leafData := append(append([]byte{}, l[:]...), r[:]...)
+	if HashLeaf(leafData) == node {
+		t.Fatal("leaf/node domain separation broken")
+	}
+}
+
+func TestSplitPoint(t *testing.T) {
+	cases := map[uint64]uint64{2: 1, 3: 2, 4: 2, 5: 4, 7: 4, 8: 4, 9: 8, 1 << 20: 1 << 19, (1 << 20) + 1: 1 << 20}
+	for n, want := range cases {
+		if got := splitPoint(n); got != want {
+			t.Errorf("splitPoint(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: for random trees, inclusion proofs verify for every leaf and
+// fail for a perturbed root.
+func TestPropertyInclusionRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 30; iter++ {
+		n := 1 + rng.Intn(200)
+		tr := New()
+		data := make([][]byte, n)
+		for i := range data {
+			data[i] = make([]byte, rng.Intn(50))
+			rng.Read(data[i])
+			tr.AppendData(data[i])
+		}
+		root := tr.Root()
+		i := uint64(rng.Intn(n))
+		proof, err := tr.InclusionProof(i, uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyInclusion(HashLeaf(data[i]), i, uint64(n), proof, root); err != nil {
+			t.Fatalf("n=%d i=%d: %v", n, i, err)
+		}
+		bad := root
+		bad[0] ^= 1
+		if err := VerifyInclusion(HashLeaf(data[i]), i, uint64(n), proof, bad); err == nil {
+			t.Fatalf("n=%d i=%d: verified against wrong root", n, i)
+		}
+	}
+}
+
+// Property: consistency proofs verify for random (m, n) pairs on random trees.
+func TestPropertyConsistencyRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(300)
+		tr := New()
+		for i := 0; i < n; i++ {
+			buf := make([]byte, 8+rng.Intn(16))
+			rng.Read(buf)
+			tr.AppendData(buf)
+		}
+		m := uint64(1 + rng.Intn(n))
+		root1, _ := tr.RootAt(m)
+		root2, _ := tr.RootAt(uint64(n))
+		proof, err := tr.ConsistencyProof(m, uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyConsistency(m, uint64(n), root1, root2, proof); err != nil {
+			t.Fatalf("m=%d n=%d: %v", m, n, err)
+		}
+	}
+}
+
+// Property (quick): appending data then recomputing the root from scratch
+// matches the cached computation.
+func TestQuickRootMatchesNaive(t *testing.T) {
+	naive := func(leaves [][]byte) Hash {
+		var rec func(lo, hi int) Hash
+		rec = func(lo, hi int) Hash {
+			if hi-lo == 1 {
+				return HashLeaf(leaves[lo])
+			}
+			k := int(splitPoint(uint64(hi - lo)))
+			return HashChildren(rec(lo, lo+k), rec(lo+k, hi))
+		}
+		if len(leaves) == 0 {
+			return EmptyRoot()
+		}
+		return rec(0, len(leaves))
+	}
+	f := func(raw [][]byte) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		tr := New()
+		for _, l := range raw {
+			tr.AppendData(l)
+		}
+		return tr.Root() == naive(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	tr := New()
+	leaf := []byte("benchmark leaf data: some certificate bytes")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.AppendData(leaf)
+	}
+}
+
+func BenchmarkInclusionProof(b *testing.B) {
+	tr := New()
+	for i := 0; i < 1<<16; i++ {
+		tr.AppendData([]byte{byte(i), byte(i >> 8)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.InclusionProof(uint64(i)%tr.Size(), tr.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package psl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ctrise/internal/dnsname"
+)
+
+// Property: for any name with a registrable domain, (1) the registrable
+// domain is suffix plus exactly one label, (2) the name ends with its
+// registrable domain, and (3) Split recomposes the original name.
+func TestPropertySplitInvariants(t *testing.T) {
+	l := Default()
+	rng := rand.New(rand.NewSource(99))
+	suffixes := []string{"com", "co.uk", "de", "gov.au", "tk", "github.io", "kobe.jp", "foo.ck"}
+	for i := 0; i < 2000; i++ {
+		depth := rng.Intn(4)
+		labels := make([]string, depth+1)
+		for j := range labels {
+			labels[j] = dnsname.RandomLabel(rng, 1+rng.Intn(8))
+		}
+		name := strings.Join(labels, ".") + "." + suffixes[rng.Intn(len(suffixes))]
+
+		reg, err := l.RegistrableDomain(name)
+		if err != nil {
+			// Wildcard rules (*.kobe.jp, *.ck) can absorb the generated
+			// labels into the suffix, leaving no registrable domain —
+			// correct PSL behaviour, nothing to check further.
+			continue
+		}
+		suffix := l.PublicSuffix(name)
+		if !strings.HasSuffix(name, reg) {
+			t.Fatalf("%q does not end with its registrable domain %q", name, reg)
+		}
+		if !strings.HasSuffix(reg, "."+suffix) {
+			t.Fatalf("registrable %q does not end with suffix %q", reg, suffix)
+		}
+		if got := strings.Count(strings.TrimSuffix(reg, "."+suffix), "."); got != 0 {
+			t.Fatalf("registrable %q has %d extra dots above suffix %q", reg, got, suffix)
+		}
+		sub, reg2, suffix2, err := l.Split(name)
+		if err != nil || reg2 != reg || suffix2 != suffix {
+			t.Fatalf("Split(%q) = %v/%q/%q/%v", name, sub, reg2, suffix2, err)
+		}
+		recomposed := reg
+		if len(sub) > 0 {
+			recomposed = strings.Join(sub, ".") + "." + reg
+		}
+		if recomposed != name {
+			t.Fatalf("recomposed %q != %q", recomposed, name)
+		}
+	}
+}
+
+// Property: PublicSuffix is idempotent — the suffix of a suffix is itself.
+func TestPropertySuffixIdempotent(t *testing.T) {
+	l := Default()
+	for _, name := range []string{
+		"www.example.com", "a.b.c.d.co.uk", "x.kobe.jp", "q.foo.ck",
+		"www.ck", "a.blogspot.com",
+	} {
+		s := l.PublicSuffix(name)
+		if got := l.PublicSuffix(s); got != s {
+			t.Fatalf("PublicSuffix(%q) = %q, but PublicSuffix(%q) = %q", name, s, s, got)
+		}
+	}
+}

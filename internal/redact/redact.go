@@ -1,0 +1,92 @@
+// Package redact implements the subdomain-label redaction countermeasure
+// discussed in Section 4: the concern that CT leaks private subdomains
+// led Symantec to run the Deneb log (whose explicit goal was to hide
+// subdomains) and the IETF to draft label-redaction mechanisms for
+// RFC 6962-bis. Redaction replaces the labels left of the registrable
+// domain with "?" before logging, so a monitor learns that a certificate
+// exists for the domain without learning its hostnames.
+//
+// The package provides both the mechanism (name and certificate
+// redaction) and the evaluation hook the paper's Section 4 analysis
+// implies: a census over a redacted corpus recovers no subdomain labels.
+package redact
+
+import (
+	"strings"
+
+	"ctrise/internal/certs"
+	"ctrise/internal/dnsname"
+	"ctrise/internal/psl"
+)
+
+// Placeholder is the label that replaces redacted labels, following the
+// RFC 6962-bis redaction draft's presentation ("?").
+const Placeholder = "?"
+
+// Name redacts every subdomain label of one FQDN: labels in front of the
+// registrable domain become Placeholder, wildcards included. Names that
+// are bare registrable domains (or unsplittable) pass through unchanged —
+// there is nothing to hide.
+func Name(fqdn string, list *psl.List) string {
+	normalized := dnsname.Normalize(dnsname.TrimWildcard(fqdn))
+	sub, regDomain, _, err := list.Split(normalized)
+	if err != nil || len(sub) == 0 {
+		return normalized
+	}
+	parts := make([]string, len(sub)+1)
+	for i := range sub {
+		parts[i] = Placeholder
+	}
+	parts[len(sub)] = regDomain
+	return strings.Join(parts, ".")
+}
+
+// Certificate returns a copy of cert with all DNS names (CN and SANs)
+// redacted. Duplicate redacted names collapse, so a certificate covering
+// five hostnames of one domain leaks only "?.domain".
+func Certificate(cert *certs.Certificate, list *psl.List) *certs.Certificate {
+	out := cert.Clone()
+	if out.Subject.CommonName != "" {
+		out.Subject.CommonName = Name(out.Subject.CommonName, list)
+	}
+	seen := make(map[string]bool, len(out.DNSNames))
+	redacted := out.DNSNames[:0]
+	for _, n := range out.DNSNames {
+		r := Name(n, list)
+		if !seen[r] {
+			seen[r] = true
+			redacted = append(redacted, r)
+		}
+	}
+	out.DNSNames = redacted
+	return out
+}
+
+// Corpus redacts a whole name set, deduplicating (the privacy gain:
+// many hostnames collapse into one entry per domain).
+func Corpus(names map[string]struct{}, list *psl.List) map[string]struct{} {
+	out := make(map[string]struct{}, len(names))
+	for n := range names {
+		out[Name(n, list)] = struct{}{}
+	}
+	return out
+}
+
+// LeakedLabels counts the distinct non-placeholder subdomain labels still
+// extractable from a corpus — the quantity a Deneb-style log drives to
+// zero. It is the evaluation metric for the countermeasure.
+func LeakedLabels(names map[string]struct{}, list *psl.List) map[string]int {
+	out := make(map[string]int)
+	for n := range names {
+		sub, _, _, err := list.Split(dnsname.Normalize(dnsname.TrimWildcard(n)))
+		if err != nil {
+			continue
+		}
+		for _, l := range sub {
+			if l != Placeholder {
+				out[l]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+// Package scanner implements the active-measurement half of Section 3:
+// building the HTTPS server population (domains resolved to IPs with
+// ~12-fold TLS-SNI certificate multiplexing per IP), the Internet-wide
+// certificate grab of Section 3.3, and the invalid-embedded-SCT sweep of
+// Section 3.4 that reproduces the GlobalSign / D-TRUST / NetLock /
+// TeliaSonera misissuance findings.
+package scanner
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+
+	"ctrise/internal/ca"
+	"ctrise/internal/certs"
+	"ctrise/internal/ecosystem"
+	"ctrise/internal/sct"
+	"ctrise/internal/stats"
+)
+
+// Site is one HTTPS endpoint of the scan population.
+type Site struct {
+	Domain string
+	IP     net.IP
+	// Cert is the certificate the server presents.
+	Cert *certs.Certificate
+	// IssuerKeyHash supports SCT validation against the cert's issuer.
+	IssuerKeyHash [32]byte
+	// TLSSCT/OCSPSCT mark SCT delivery via the respective channel (the
+	// server sends SCTs it obtained by submitting its final cert itself).
+	TLSSCT  bool
+	OCSPSCT bool
+	// CAOrg is the issuing organization.
+	CAOrg string
+	// Fault records an injected misissuance, if any.
+	Fault ca.Fault
+}
+
+// PopConfig parameterizes the population builder.
+type PopConfig struct {
+	Seed int64
+	// NumSites defaults to the world's domain count.
+	NumSites int
+	// SitesPerIP is the TLS-SNI multiplexing factor (the paper observes
+	// ≈12 certificates per IP). Default 12.
+	SitesPerIP int
+	// EmbedFraction is the fraction of certificates with embedded SCTs
+	// (68.7% in Section 3.3). Default 0.687.
+	EmbedFraction float64
+	// Faulty counts of misissued certificates, matching Section 3.4:
+	// 12 GlobalSign-class, 2 D-TRUST-class, 1 NetLock-class,
+	// 1 TeliaSonera-class. These absolute counts are not scaled, exactly
+	// as in the paper.
+	FaultySANReorder int
+	FaultyExtReorder int
+	FaultySANReplace int
+	FaultyStaleSCT   int
+}
+
+func (c *PopConfig) setDefaults(w *ecosystem.World) {
+	if c.NumSites <= 0 {
+		c.NumSites = len(w.Domains)
+	}
+	if c.SitesPerIP <= 0 {
+		c.SitesPerIP = 12
+	}
+	if c.EmbedFraction <= 0 {
+		c.EmbedFraction = 0.687
+	}
+	if c.FaultySANReorder == 0 && c.FaultyExtReorder == 0 && c.FaultySANReplace == 0 && c.FaultyStaleSCT == 0 {
+		c.FaultySANReorder = 12
+		c.FaultyExtReorder = 2
+		c.FaultySANReplace = 1
+		c.FaultyStaleSCT = 1
+	}
+}
+
+// caMix is the certificate-count CA distribution of the 2018 population
+// (Let's Encrypt dominant by count).
+var caMix = []struct {
+	org    string
+	weight float64
+}{
+	{ecosystem.CALetsEncrypt, 0.90},
+	{ecosystem.CADigiCert, 0.05},
+	{ecosystem.CAComodo, 0.03},
+	{ecosystem.CAGlobalSign, 0.015},
+	{ecosystem.CAOther, 0.005},
+}
+
+func drawCA(rng *rand.Rand) string {
+	p := rng.Float64()
+	var cum float64
+	for _, m := range caMix {
+		cum += m.weight
+		if p < cum {
+			return m.org
+		}
+	}
+	return ecosystem.CAOther
+}
+
+// BuildPopulation issues one certificate per site through the world's
+// CAs and log policies and assigns IPs with SNI multiplexing. It also
+// injects the configured misissued certificates through fault-mode CAs
+// named after the paper's four cases.
+func BuildPopulation(w *ecosystem.World, cfg PopConfig) ([]*Site, error) {
+	cfg.setDefaults(w)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specByOrg := make(map[string]ecosystem.CASpec, len(w.Specs))
+	for _, s := range w.Specs {
+		specByOrg[s.Org] = s
+	}
+
+	sites := make([]*Site, 0, cfg.NumSites)
+	for i := 0; i < cfg.NumSites; i++ {
+		domain := w.Domains[i%len(w.Domains)]
+		org := drawCA(rng)
+		spec := specByOrg[org]
+		caInst := w.CAs[org]
+		embed := rng.Float64() < cfg.EmbedFraction
+
+		names := ecosystem.NamesForDomain(rng, domain.Name, domain.Suffix)
+		iss, err := caInst.Issue(ca.Request{
+			Names:     names,
+			EmbedSCTs: embed,
+			Logs:      submitters(w, spec.Policy(rng)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scanner: issuing for %s: %w", domain.Name, err)
+		}
+		site := &Site{
+			Domain:        domain.Name,
+			Cert:          iss.Final,
+			IssuerKeyHash: caInst.IssuerKeyHash(),
+			CAOrg:         org,
+		}
+		if !embed {
+			// A sliver of non-embedding sites deliver SCTs out of band
+			// (0.78% of certificates via TLS extension, ~0.003% via OCSP).
+			switch p := rng.Float64(); {
+			case p < 0.025:
+				site.TLSSCT = true
+			case p < 0.0251:
+				site.OCSPSCT = true
+			}
+		}
+		sites = append(sites, site)
+	}
+
+	faulty, err := injectFaults(w, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	sites = append(sites, faulty...)
+
+	// IP assignment: consecutive sites share an IP, SitesPerIP at a time,
+	// from the 100.64.0.0/10 block announced in the synthetic table.
+	for i, s := range sites {
+		block := i / cfg.SitesPerIP
+		s.IP = net.IPv4(100, 64+byte(block>>16), byte(block>>8), byte(block))
+	}
+	return sites, nil
+}
+
+func submitters(w *ecosystem.World, names []string) []ca.LogSubmitter {
+	out := make([]ca.LogSubmitter, 0, len(names))
+	for _, n := range names {
+		if l, ok := w.Logs[n]; ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// faultyCASpec describes one of the paper's four misissuing CAs.
+type faultyCASpec struct {
+	name  string
+	fault ca.Fault
+	count int
+}
+
+func injectFaults(w *ecosystem.World, cfg PopConfig, rng *rand.Rand) ([]*Site, error) {
+	specs := []faultyCASpec{
+		{"GlobalSign (faulty)", ca.FaultSANReorder, cfg.FaultySANReorder},
+		{"D-TRUST", ca.FaultExtReorder, cfg.FaultyExtReorder},
+		{"NetLock", ca.FaultSANReplace, cfg.FaultySANReplace},
+		{"TeliaSonera", ca.FaultStaleSCT, cfg.FaultyStaleSCT},
+	}
+	logs := []ca.LogSubmitter{w.Logs[ecosystem.LogGooglePilot], w.Logs[ecosystem.LogGoogleRocketeer]}
+	var out []*Site
+	for _, fs := range specs {
+		caInst, err := ca.New(ca.Config{Name: fs.name, Org: fs.name, Logs: logs, Clock: w.Clock.Now})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < fs.count; i++ {
+			domain := w.RandomDomain(rng)
+			req := ca.Request{
+				Names:     []string{domain.Name, "www." + domain.Name, "mail." + domain.Name},
+				EmbedSCTs: true,
+				Fault:     fs.fault,
+			}
+			if fs.fault == ca.FaultSANReorder {
+				req.IPAddresses = []string{"192.0.2.77"} // the GlobalSign case mixed DNS and IP SANs
+			}
+			if fs.fault == ca.FaultStaleSCT {
+				// The TeliaSonera case was a re-issuance: issue an honest
+				// predecessor first.
+				if _, err := caInst.Issue(ca.Request{Names: req.Names, EmbedSCTs: true}); err != nil {
+					return nil, err
+				}
+			}
+			iss, err := caInst.Issue(req)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &Site{
+				Domain:        domain.Name,
+				Cert:          iss.Final,
+				IssuerKeyHash: caInst.IssuerKeyHash(),
+				CAOrg:         fs.name,
+				Fault:         fs.fault,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ScanStats aggregates the Section 3.3 numbers.
+type ScanStats struct {
+	// TotalCerts is the number of unique certificates encountered.
+	TotalCerts uint64
+	// WithEmbeddedSCT counts certificates with an embedded SCT list.
+	WithEmbeddedSCT uint64
+	// TLSExtCerts / OCSPCerts count certificates whose SCTs arrive via
+	// the TLS extension / stapled OCSP.
+	TLSExtCerts uint64
+	OCSPCerts   uint64
+	// IPsServingSCT counts distinct IPs serving at least one SCT.
+	IPsServingSCT uint64
+	// TotalIPs counts distinct IPs scanned.
+	TotalIPs uint64
+	// CertsByLog counts, per log name, certificates embedding an SCT from
+	// that log (a certificate with SCTs from two logs counts for both —
+	// hence percentages can exceed 100 in sum, as in the paper).
+	CertsByLog *stats.Counter
+}
+
+// LogPercent returns the share of embedded-SCT certificates carrying an
+// SCT from the named log.
+func (s *ScanStats) LogPercent(log string) float64 {
+	return stats.Percent(s.CertsByLog.Get(log), s.WithEmbeddedSCT)
+}
+
+// Scan walks the population like the zmap+TLS scanner pipeline: one
+// certificate grab per site, deduplicated IP accounting, per-log
+// attribution by decoding each certificate's SCT list. logNames maps log
+// IDs to display names.
+func Scan(sites []*Site, logNames map[sct.LogID]string) (*ScanStats, error) {
+	st := &ScanStats{CertsByLog: stats.NewCounter()}
+	ips := make(map[string]bool)
+	ipsWithSCT := make(map[string]bool)
+	for _, site := range sites {
+		st.TotalCerts++
+		ipKey := site.IP.String()
+		ips[ipKey] = true
+		served := site.TLSSCT || site.OCSPSCT
+		if site.TLSSCT {
+			st.TLSExtCerts++
+		}
+		if site.OCSPSCT {
+			st.OCSPCerts++
+		}
+		if site.Cert.HasSCTList() {
+			st.WithEmbeddedSCT++
+			served = true
+			scts, err := site.Cert.SCTs()
+			if err != nil {
+				return nil, fmt.Errorf("scanner: SCTs of %s: %w", site.Domain, err)
+			}
+			seen := make(map[string]bool, len(scts))
+			for _, s := range scts {
+				name, ok := logNames[s.LogID]
+				if !ok {
+					name = s.LogID.String()[:12]
+				}
+				if !seen[name] {
+					st.CertsByLog.Inc(name)
+					seen[name] = true
+				}
+			}
+		}
+		if served {
+			ipsWithSCT[ipKey] = true
+		}
+	}
+	st.TotalIPs = uint64(len(ips))
+	st.IPsServingSCT = uint64(len(ipsWithSCT))
+	return st, nil
+}
+
+// InvalidCert is one Section 3.4 finding.
+type InvalidCert struct {
+	Domain   string
+	CAOrg    string
+	Problems []ca.SCTProblem
+}
+
+// DetectInvalidSCTs runs the embedded-SCT validator over every site
+// certificate, returning the misissued ones grouped like Section 3.4
+// reports them.
+func DetectInvalidSCTs(sites []*Site, verifiers map[sct.LogID]sct.SCTVerifier) ([]InvalidCert, error) {
+	var out []InvalidCert
+	for _, site := range sites {
+		if !site.Cert.HasSCTList() {
+			continue
+		}
+		res, err := ca.ValidateEmbeddedSCTs(site.Cert, site.IssuerKeyHash, verifiers)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: validating %s: %w", site.Domain, err)
+		}
+		if res.Invalid() {
+			out = append(out, InvalidCert{Domain: site.Domain, CAOrg: site.CAOrg, Problems: res.Problems})
+		}
+	}
+	return out, nil
+}
+
+// CountByCA groups Section 3.4 findings per CA organization.
+func CountByCA(findings []InvalidCert) map[string]int {
+	out := make(map[string]int)
+	for _, f := range findings {
+		out[f.CAOrg]++
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package sct
+
+import (
+	"fmt"
+
+	"ctrise/internal/tlsenc"
+)
+
+// Serialize encodes the DigitallySigned structure in its TLS wire form:
+// hash algorithm, signature algorithm, and a uint16-length signature.
+// This is the `signature` field of ct/v1 JSON responses.
+func (d DigitallySigned) Serialize() ([]byte, error) {
+	b := tlsenc.NewBuilder(4 + len(d.Signature))
+	b.AddUint8(d.HashAlgorithm)
+	b.AddUint8(d.SignatureAlgorithm)
+	b.AddUint16Vector(d.Signature)
+	return b.Bytes()
+}
+
+// ParseDigitallySigned decodes a TLS DigitallySigned structure.
+func ParseDigitallySigned(data []byte) (DigitallySigned, error) {
+	r := tlsenc.NewReader(data)
+	var d DigitallySigned
+	d.HashAlgorithm = r.Uint8()
+	d.SignatureAlgorithm = r.Uint8()
+	d.Signature = r.Uint16Vector()
+	if err := r.ExpectEmpty(); err != nil {
+		return DigitallySigned{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,143 @@
+package sct
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// SCTVerifier checks SCTs and tree heads against one log's identity.
+// Both the ECDSA Verifier and the simulation FastVerifier implement it,
+// so measurement pipelines (e.g. the Section 3.4 invalid-SCT detector)
+// work identically over cryptographic and bulk-simulated logs.
+type SCTVerifier interface {
+	// LogID returns the log identity being verified against.
+	LogID() LogID
+	// VerifySCT checks that s covers entry.
+	VerifySCT(s *SignedCertificateTimestamp, entry CertificateEntry) error
+	// VerifyTreeHead checks a signed tree head.
+	VerifyTreeHead(th TreeHead, sig DigitallySigned) error
+}
+
+// LogSigner issues SCTs and tree head signatures for one log. The ECDSA
+// Signer is the production implementation; FastSigner is a simulation
+// fast path whose "signatures" are keyed hashes, three orders of
+// magnitude cheaper, used when experiments sequence millions of entries
+// (Figure 1's timeline) where per-entry asymmetric crypto would dominate
+// runtime without affecting any measured quantity.
+type LogSigner interface {
+	LogID() LogID
+	CreateSCT(timestamp uint64, entry CertificateEntry) (*SignedCertificateTimestamp, error)
+	SignTreeHead(th TreeHead) (DigitallySigned, error)
+	// Verifier returns the matching verifier.
+	Verifier() SCTVerifier
+}
+
+// Verifier returns the ECDSA verifier for this signer's public key,
+// making Signer satisfy LogSigner.
+func (s *Signer) Verifier() SCTVerifier { return NewVerifier(s.PublicKey()) }
+
+// fastSigAlgo is a private code point marking simulation signatures so
+// they can never be confused with real ECDSA ones.
+const fastSigAlgo = 224
+
+// FastSigner is the simulation LogSigner: the log ID is the SHA-256 of
+// the log's name, and signatures are SHA-256 over (logID || message).
+// They provide integrity binding for simulation purposes (a modified
+// entry or timestamp fails verification) but no cryptographic security.
+type FastSigner struct {
+	logID LogID
+}
+
+// NewFastSigner derives a FastSigner from a log name.
+func NewFastSigner(name string) *FastSigner {
+	return &FastSigner{logID: LogID(sha256.Sum256([]byte("fast-log:" + name)))}
+}
+
+// LogID returns the derived log ID.
+func (f *FastSigner) LogID() LogID { return f.logID }
+
+func (f *FastSigner) sign(msg []byte) DigitallySigned {
+	h := sha256.New()
+	h.Write(f.logID[:])
+	h.Write(msg)
+	return DigitallySigned{
+		HashAlgorithm:      hashAlgoSHA256,
+		SignatureAlgorithm: fastSigAlgo,
+		Signature:          h.Sum(nil),
+	}
+}
+
+// CreateSCT issues a simulation SCT over entry.
+func (f *FastSigner) CreateSCT(timestamp uint64, entry CertificateEntry) (*SignedCertificateTimestamp, error) {
+	s := &SignedCertificateTimestamp{
+		SCTVersion: V1,
+		LogID:      f.logID,
+		Timestamp:  timestamp,
+	}
+	input, err := signatureInput(s.SCTVersion, timestamp, entry, s.Extensions)
+	if err != nil {
+		return nil, err
+	}
+	s.Signature = f.sign(input)
+	return s, nil
+}
+
+// SignTreeHead signs a tree head with the simulation scheme.
+func (f *FastSigner) SignTreeHead(th TreeHead) (DigitallySigned, error) {
+	return f.sign(treeHeadSignatureInput(th)), nil
+}
+
+// Verifier returns the matching FastVerifier.
+func (f *FastSigner) Verifier() SCTVerifier { return &FastVerifier{logID: f.logID} }
+
+// FastVerifier verifies FastSigner signatures.
+type FastVerifier struct {
+	logID LogID
+}
+
+// NewFastVerifier builds a verifier for the named fast log.
+func NewFastVerifier(name string) *FastVerifier {
+	return &FastVerifier{logID: LogID(sha256.Sum256([]byte("fast-log:" + name)))}
+}
+
+// LogID returns the log ID the verifier checks against.
+func (v *FastVerifier) LogID() LogID { return v.logID }
+
+// VerifySCT checks a simulation SCT.
+func (v *FastVerifier) VerifySCT(s *SignedCertificateTimestamp, entry CertificateEntry) error {
+	if s.SCTVersion != V1 {
+		return fmt.Errorf("%w: %d", ErrUnsupportedVersion, s.SCTVersion)
+	}
+	if s.LogID != v.logID {
+		return fmt.Errorf("%w: SCT log ID %s != verifier log ID %s", ErrInvalidSignature, s.LogID, v.logID)
+	}
+	input, err := signatureInput(s.SCTVersion, s.Timestamp, entry, s.Extensions)
+	if err != nil {
+		return err
+	}
+	return v.verify(input, s.Signature)
+}
+
+// VerifyTreeHead checks a simulation STH signature.
+func (v *FastVerifier) VerifyTreeHead(th TreeHead, sig DigitallySigned) error {
+	return v.verify(treeHeadSignatureInput(th), sig)
+}
+
+func (v *FastVerifier) verify(msg []byte, sig DigitallySigned) error {
+	if sig.SignatureAlgorithm != fastSigAlgo {
+		return fmt.Errorf("%w: not a simulation signature (algo %d)", ErrUnsupportedAlgorithm, sig.SignatureAlgorithm)
+	}
+	h := sha256.New()
+	h.Write(v.logID[:])
+	h.Write(msg)
+	want := h.Sum(nil)
+	if len(sig.Signature) != len(want) {
+		return ErrInvalidSignature
+	}
+	for i := range want {
+		if sig.Signature[i] != want[i] {
+			return ErrInvalidSignature
+		}
+	}
+	return nil
+}

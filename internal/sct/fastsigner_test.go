@@ -1,0 +1,137 @@
+package sct
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFastSignerRoundTrip(t *testing.T) {
+	s := NewFastSigner("Test Fast Log")
+	entry := X509Entry([]byte("bulk cert bytes"))
+	sctOut, err := s.CreateSCT(1520000000000, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sctOut.LogID != s.LogID() {
+		t.Fatal("log ID mismatch")
+	}
+	v := s.Verifier()
+	if v.LogID() != s.LogID() {
+		t.Fatal("verifier log ID mismatch")
+	}
+	if err := v.VerifySCT(sctOut, entry); err != nil {
+		t.Fatalf("VerifySCT: %v", err)
+	}
+}
+
+func TestFastSignerDetectsTampering(t *testing.T) {
+	s := NewFastSigner("Tamper Log")
+	entry := X509Entry([]byte("original"))
+	sctOut, err := s.CreateSCT(1, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Verifier()
+	// Modified entry.
+	if err := v.VerifySCT(sctOut, X509Entry([]byte("modified"))); !errors.Is(err, ErrInvalidSignature) {
+		t.Fatalf("modified entry: %v", err)
+	}
+	// Modified timestamp.
+	sctOut.Timestamp++
+	if err := v.VerifySCT(sctOut, entry); !errors.Is(err, ErrInvalidSignature) {
+		t.Fatalf("modified timestamp: %v", err)
+	}
+}
+
+func TestFastSignerPrecertEntries(t *testing.T) {
+	s := NewFastSigner("Precert Fast Log")
+	var ikh [32]byte
+	ikh[7] = 0x70
+	entry := PrecertEntry(ikh, []byte("tbs"))
+	sctOut, err := s.CreateSCT(2, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verifier().VerifySCT(sctOut, entry); err != nil {
+		t.Fatal(err)
+	}
+	// Different issuer key hash invalidates.
+	var otherIKH [32]byte
+	if err := s.Verifier().VerifySCT(sctOut, PrecertEntry(otherIKH, []byte("tbs"))); err == nil {
+		t.Fatal("issuer key hash not covered")
+	}
+}
+
+func TestFastLogIDsDifferPerName(t *testing.T) {
+	a := NewFastSigner("Log A")
+	b := NewFastSigner("Log B")
+	if a.LogID() == b.LogID() {
+		t.Fatal("distinct names must give distinct IDs")
+	}
+	// Same name is stable (NewFastVerifier pairs with NewFastSigner).
+	if NewFastVerifier("Log A").LogID() != a.LogID() {
+		t.Fatal("verifier derivation differs from signer")
+	}
+}
+
+func TestFastSignerTreeHead(t *testing.T) {
+	s := NewFastSigner("STH Log")
+	th := TreeHead{Timestamp: 10, TreeSize: 20}
+	sig, err := s.SignTreeHead(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verifier().VerifyTreeHead(th, sig); err != nil {
+		t.Fatal(err)
+	}
+	th.TreeSize++
+	if err := s.Verifier().VerifyTreeHead(th, sig); !errors.Is(err, ErrInvalidSignature) {
+		t.Fatalf("modified STH: %v", err)
+	}
+}
+
+func TestFastAndRealSignaturesDoNotCross(t *testing.T) {
+	fast := NewFastSigner("Cross Log")
+	real, err := NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := X509Entry([]byte("cert"))
+	fastSCT, err := fast.CreateSCT(1, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realSCT, err := real.CreateSCT(1, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A real verifier rejects simulation signatures by algorithm.
+	if err := real.Verifier().VerifySCT(fastSCT, entry); err == nil {
+		t.Fatal("real verifier accepted simulation signature")
+	}
+	// A fast verifier rejects real ECDSA signatures (log ID first, and
+	// the algorithm check would refuse even a matching ID).
+	if err := fast.Verifier().VerifySCT(realSCT, entry); err == nil {
+		t.Fatal("fast verifier accepted real signature")
+	}
+}
+
+func TestFastSCTSerializes(t *testing.T) {
+	// Simulation SCTs travel through the same wire encoding.
+	s := NewFastSigner("Wire Log")
+	sctOut, err := s.CreateSCT(3, X509Entry([]byte("cert")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := sctOut.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSCT(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verifier().VerifySCT(back, X509Entry([]byte("cert"))); err != nil {
+		t.Fatalf("parsed simulation SCT does not verify: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package tlsmon
+
+import (
+	"math/rand"
+	"time"
+
+	"ctrise/internal/ecosystem"
+)
+
+// Channel-mix probabilities calibrated to Section 3.2's published counts
+// over 26.5G connections. Classes are disjoint; the remainder carries no
+// SCT.
+const (
+	pCertOnly = 0.21399 // 5.7G cert-channel conns minus overlaps
+	pTLSOnly  = 0.11198 // 3G TLS-extension conns minus overlaps
+	pOCSPOnly = 0.000019
+	pCertTLS  = 0.00000116 // 30.8k of 26.5G
+	pTLSOCSP  = 0.0000566  // 1.5M of 26.5G
+	// pCertOCSP is 29 connections in 26.5G — below our scale's floor; the
+	// class exists in the generator for completeness.
+	pCertOCSP = 0.0000000011
+
+	// pClientSupport is the fraction of ClientHellos offering the SCT
+	// extension (17.7G of 26.5G).
+	pClientSupport = 0.6676
+)
+
+// logShare is a per-channel log popularity entry, calibrated to Table 1.
+type logShare struct {
+	name   string
+	weight float64
+}
+
+// certChannelShares follows Table 1's "Cert SCTs" column.
+var certChannelShares = []logShare{
+	{ecosystem.LogGooglePilot, 28.69},
+	{ecosystem.LogSymantec, 18.40},
+	{ecosystem.LogGoogleRocketeer, 17.33},
+	{ecosystem.LogDigiCert, 10.01},
+	{ecosystem.LogGoogleSkydiver, 5.97},
+	{ecosystem.LogGoogleAviator, 5.94},
+	{ecosystem.LogVenafi, 5.58},
+	{ecosystem.LogDigiCert2, 3.77},
+	{ecosystem.LogSymantecVega, 3.71},
+	{ecosystem.LogComodoMammoth, 0.44},
+	{ecosystem.LogNimbus2018, 0.05},
+	{ecosystem.LogGoogleIcarus, 0.04},
+	{ecosystem.LogNimbus2020, 0.02},
+	{ecosystem.LogComodoSabre, 0.01},
+	{ecosystem.LogCertlyIO, 0.01},
+}
+
+// tlsChannelShares follows Table 1's "TLS SCTs" column.
+var tlsChannelShares = []logShare{
+	{ecosystem.LogSymantec, 40.19},
+	{ecosystem.LogGooglePilot, 26.03},
+	{ecosystem.LogGoogleRocketeer, 23.30},
+	{ecosystem.LogComodoMammoth, 3.71},
+	{ecosystem.LogVenafi, 2.45},
+	{ecosystem.LogComodoSabre, 1.98},
+	{ecosystem.LogGoogleSkydiver, 0.89},
+	{ecosystem.LogDigiCert2, 0.21},
+	{ecosystem.LogSymantecVega, 0.02},
+}
+
+// secondSCTProb is the chance a connection's channel carries a second
+// log's SCT (Chrome policy wants multiple logs; observed per-channel
+// shares sum to slightly over 100%).
+const secondSCTProb = 0.06
+
+// drawLogs samples 1–2 log names from a share table.
+func drawLogs(rng *rand.Rand, shares []logShare) []string {
+	out := []string{drawOne(rng, shares)}
+	if rng.Float64() < secondSCTProb {
+		second := drawOne(rng, shares)
+		if second != out[0] {
+			out = append(out, second)
+		}
+	}
+	return out
+}
+
+func drawOne(rng *rand.Rand, shares []logShare) string {
+	var total float64
+	for _, s := range shares {
+		total += s.weight
+	}
+	p := rng.Float64() * total
+	var cum float64
+	for _, s := range shares {
+		cum += s.weight
+		if p < cum {
+			return s.name
+		}
+	}
+	return shares[len(shares)-1].name
+}
+
+// GenConfig parameterizes the traffic generator.
+type GenConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Start/End bound the observation window; defaults to the paper's
+	// 2017-04-26 .. 2018-05-23.
+	Start, End time.Time
+	// ConnsPerDay is the scaled daily connection volume. The paper saw
+	// ~68M/day; 680 reproduces the shape at 1e-5 scale. Default 680.
+	ConnsPerDay int
+	// BurstDays is the number of graph.facebook.com burst days that cause
+	// the Figure 2 peaks. Default 6.
+	BurstDays int
+	// BurstFactor multiplies a burst day's total traffic, the extra being
+	// TLS-extension connections to graph.facebook.com. Default 2, which
+	// lifts a burst day's SCT share to ≈66% like the Figure 2 peaks.
+	BurstFactor int
+}
+
+func (cfg *GenConfig) setDefaults() {
+	if cfg.Start.IsZero() {
+		cfg.Start = ecosystem.Date(2017, 4, 26)
+	}
+	if cfg.End.IsZero() {
+		cfg.End = ecosystem.Date(2018, 5, 23)
+	}
+	if cfg.ConnsPerDay <= 0 {
+		cfg.ConnsPerDay = 680
+	}
+	if cfg.BurstDays < 0 {
+		cfg.BurstDays = 0
+	} else if cfg.BurstDays == 0 {
+		cfg.BurstDays = 6
+	}
+	if cfg.BurstFactor <= 0 {
+		cfg.BurstFactor = 2
+	}
+}
+
+// Generate synthesizes the connection stream and feeds it to emit in time
+// order. It reproduces the published workload shape: the channel mix and
+// log shares above, constant over time (the paper observes no immediate
+// post-deadline change because certificates replace only gradually), with
+// occasional graph.facebook.com bursts.
+func Generate(cfg GenConfig, emit func(*Connection)) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	totalDays := int(cfg.End.Sub(cfg.Start).Hours()/24) + 1
+	burst := make(map[int]bool, cfg.BurstDays)
+	for len(burst) < cfg.BurstDays && len(burst) < totalDays {
+		burst[rng.Intn(totalDays)] = true
+	}
+
+	for dayIdx := 0; dayIdx < totalDays; dayIdx++ {
+		day := cfg.Start.AddDate(0, 0, dayIdx)
+		n := cfg.ConnsPerDay
+		for i := 0; i < n; i++ {
+			c := &Connection{
+				Time:              day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour)))),
+				ClientSupportsSCT: rng.Float64() < pClientSupport,
+			}
+			assignChannels(rng, c)
+			emit(c)
+		}
+		if burst[dayIdx] {
+			// graph.facebook.com burst: a surge of TLS-extension SCT
+			// connections to one name, lifting the day's SCT share.
+			extra := n * (cfg.BurstFactor - 1)
+			for i := 0; i < extra; i++ {
+				c := &Connection{
+					Time:              day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour)))),
+					ServerName:        "graph.facebook.com",
+					ClientSupportsSCT: true,
+					TLSLogs:           drawLogs(rng, tlsChannelShares),
+				}
+				emit(c)
+			}
+		}
+	}
+}
+
+func assignChannels(rng *rand.Rand, c *Connection) {
+	p := rng.Float64()
+	switch {
+	case p < pCertOnly:
+		c.CertLogs = drawLogs(rng, certChannelShares)
+	case p < pCertOnly+pTLSOnly:
+		c.TLSLogs = drawLogs(rng, tlsChannelShares)
+	case p < pCertOnly+pTLSOnly+pOCSPOnly:
+		c.OCSPLogs = drawLogs(rng, tlsChannelShares)
+	case p < pCertOnly+pTLSOnly+pOCSPOnly+pCertTLS:
+		c.CertLogs = drawLogs(rng, certChannelShares)
+		c.TLSLogs = drawLogs(rng, tlsChannelShares)
+	case p < pCertOnly+pTLSOnly+pOCSPOnly+pCertTLS+pTLSOCSP:
+		c.TLSLogs = drawLogs(rng, tlsChannelShares)
+		c.OCSPLogs = append([]string(nil), c.TLSLogs...)
+	case p < pCertOnly+pTLSOnly+pOCSPOnly+pCertTLS+pTLSOCSP+pCertOCSP:
+		c.CertLogs = drawLogs(rng, certChannelShares)
+		c.OCSPLogs = drawLogs(rng, tlsChannelShares)
+	}
+}

@@ -1,0 +1,178 @@
+// Package tlsmon implements the passive TLS measurement pipeline of
+// Section 3: a Bro-like connection monitor that records, per observed
+// TLS connection, which channels delivered SCTs (certificate-embedded,
+// TLS extension, stapled OCSP) and from which logs, aggregated into the
+// paper's Figure 2 (percent of daily connections containing an SCT, by
+// transmission mode) and Table 1 (top logs by observed connections).
+//
+// The companion traffic generator reproduces the UCB uplink workload
+// shape: a 13-month connection stream whose channel mix, per-channel log
+// shares, client-support rate, and graph.facebook.com burst days are
+// calibrated to the published measurements.
+package tlsmon
+
+import (
+	"time"
+
+	"ctrise/internal/stats"
+)
+
+// Connection is one observed outgoing TLS connection, reduced to the
+// fields the Section 3 analysis uses.
+type Connection struct {
+	Time time.Time
+	// ServerName is the SNI (used only for the burst-day diagnosis).
+	ServerName string
+	// ClientSupportsSCT reports whether the ClientHello offered the
+	// signed_certificate_timestamp extension.
+	ClientSupportsSCT bool
+	// CertLogs, TLSLogs, OCSPLogs name the logs whose SCTs arrived via
+	// each channel (empty = no SCT on that channel).
+	CertLogs []string
+	TLSLogs  []string
+	OCSPLogs []string
+}
+
+// HasSCT reports whether any channel carried an SCT.
+func (c *Connection) HasSCT() bool {
+	return len(c.CertLogs) > 0 || len(c.TLSLogs) > 0 || len(c.OCSPLogs) > 0
+}
+
+// Totals are the headline counters of Section 3.2.
+type Totals struct {
+	Connections   uint64
+	WithSCT       uint64
+	CertSCT       uint64
+	TLSSCT        uint64
+	OCSPSCT       uint64
+	CertAndTLS    uint64
+	CertAndOCSP   uint64
+	TLSAndOCSP    uint64
+	ClientSupport uint64
+}
+
+// Monitor aggregates connections. It is the passive half of the paper's
+// measurement apparatus; feed it connections from the generator or any
+// other source.
+type Monitor struct {
+	totals Totals
+	// daily series for Figure 2: raw counts that DailyPercent turns into
+	// percentages.
+	daily *stats.DaySeries
+	// per-log counters for Table 1.
+	certByLog *stats.Counter
+	tlsByLog  *stats.Counter
+}
+
+// Series names used in the daily aggregation.
+const (
+	seriesTotal   = "conns"
+	seriesSCT     = "Total_SCT"
+	seriesCertSCT = "SCT_in_Cert"
+	seriesTLSSCT  = "SCT_in_TLS"
+)
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		daily:     stats.NewDaySeries(),
+		certByLog: stats.NewCounter(),
+		tlsByLog:  stats.NewCounter(),
+	}
+}
+
+// Observe ingests one connection.
+func (m *Monitor) Observe(c *Connection) {
+	m.totals.Connections++
+	if c.ClientSupportsSCT {
+		m.totals.ClientSupport++
+	}
+	m.daily.Add(seriesTotal, c.Time, 1)
+	if c.HasSCT() {
+		m.totals.WithSCT++
+		m.daily.Add(seriesSCT, c.Time, 1)
+	}
+	if len(c.CertLogs) > 0 {
+		m.totals.CertSCT++
+		m.daily.Add(seriesCertSCT, c.Time, 1)
+		for _, l := range c.CertLogs {
+			m.certByLog.Inc(l)
+		}
+	}
+	if len(c.TLSLogs) > 0 {
+		m.totals.TLSSCT++
+		m.daily.Add(seriesTLSSCT, c.Time, 1)
+		for _, l := range c.TLSLogs {
+			m.tlsByLog.Inc(l)
+		}
+	}
+	if len(c.OCSPLogs) > 0 {
+		m.totals.OCSPSCT++
+	}
+	if len(c.CertLogs) > 0 && len(c.TLSLogs) > 0 {
+		m.totals.CertAndTLS++
+	}
+	if len(c.CertLogs) > 0 && len(c.OCSPLogs) > 0 {
+		m.totals.CertAndOCSP++
+	}
+	if len(c.TLSLogs) > 0 && len(c.OCSPLogs) > 0 {
+		m.totals.TLSAndOCSP++
+	}
+}
+
+// Totals returns the accumulated headline counters.
+func (m *Monitor) Totals() Totals { return m.totals }
+
+// Figure2Point is one day of Figure 2.
+type Figure2Point struct {
+	Day         string
+	TotalSCTPct float64
+	CertPct     float64
+	TLSPct      float64
+}
+
+// Figure2 returns the daily percentages, in day order.
+func (m *Monitor) Figure2() []Figure2Point {
+	days := m.daily.Days()
+	out := make([]Figure2Point, 0, len(days))
+	for _, d := range days {
+		total := m.daily.Value(seriesTotal, d)
+		if total == 0 {
+			continue
+		}
+		out = append(out, Figure2Point{
+			Day:         d,
+			TotalSCTPct: 100 * m.daily.Value(seriesSCT, d) / total,
+			CertPct:     100 * m.daily.Value(seriesCertSCT, d) / total,
+			TLSPct:      100 * m.daily.Value(seriesTLSSCT, d) / total,
+		})
+	}
+	return out
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Log      string
+	CertSCTs uint64
+	CertPct  float64
+	TLSSCTs  uint64
+	TLSPct   float64
+}
+
+// Table1 returns the top-k logs by certificate-channel SCT connections,
+// with both channels' counts and percentages (relative to connections
+// carrying an SCT on that channel).
+func (m *Monitor) Table1(k int) []Table1Row {
+	top := m.certByLog.TopK(k)
+	rows := make([]Table1Row, 0, len(top))
+	for _, kv := range top {
+		rows = append(rows, Table1Row{
+			Log:      kv.Key,
+			CertSCTs: kv.Count,
+			CertPct:  stats.Percent(kv.Count, m.totals.CertSCT),
+			TLSSCTs:  m.tlsByLog.Get(kv.Key),
+			TLSPct:   stats.Percent(m.tlsByLog.Get(kv.Key), m.totals.TLSSCT),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,219 @@
+package tlsmon
+
+import (
+	"testing"
+	"time"
+
+	"ctrise/internal/ecosystem"
+)
+
+func runGenerator(t *testing.T, cfg GenConfig) *Monitor {
+	t.Helper()
+	m := NewMonitor()
+	Generate(cfg, m.Observe)
+	return m
+}
+
+func TestMonitorChannelAccounting(t *testing.T) {
+	m := NewMonitor()
+	now := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	m.Observe(&Connection{Time: now}) // no SCT
+	m.Observe(&Connection{Time: now, CertLogs: []string{"L1"}, ClientSupportsSCT: true})
+	m.Observe(&Connection{Time: now, TLSLogs: []string{"L2"}})
+	m.Observe(&Connection{Time: now, CertLogs: []string{"L1"}, TLSLogs: []string{"L1"}})
+	m.Observe(&Connection{Time: now, OCSPLogs: []string{"L3"}, TLSLogs: []string{"L3"}})
+
+	tot := m.Totals()
+	if tot.Connections != 5 || tot.WithSCT != 4 {
+		t.Fatalf("totals: %+v", tot)
+	}
+	if tot.CertSCT != 2 || tot.TLSSCT != 3 || tot.OCSPSCT != 1 {
+		t.Fatalf("channels: %+v", tot)
+	}
+	if tot.CertAndTLS != 1 || tot.TLSAndOCSP != 1 || tot.CertAndOCSP != 0 {
+		t.Fatalf("overlaps: %+v", tot)
+	}
+	if tot.ClientSupport != 1 {
+		t.Fatalf("client support: %+v", tot)
+	}
+}
+
+func TestFigure2Percentages(t *testing.T) {
+	m := NewMonitor()
+	d1 := time.Date(2017, 6, 1, 1, 0, 0, 0, time.UTC)
+	for i := 0; i < 70; i++ {
+		m.Observe(&Connection{Time: d1})
+	}
+	for i := 0; i < 20; i++ {
+		m.Observe(&Connection{Time: d1, CertLogs: []string{"L"}})
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(&Connection{Time: d1, TLSLogs: []string{"L"}})
+	}
+	pts := m.Figure2()
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	p := pts[0]
+	if p.TotalSCTPct != 30 || p.CertPct != 20 || p.TLSPct != 10 {
+		t.Fatalf("point = %+v", p)
+	}
+}
+
+// The headline reproduction test: the generated 13-month stream matches
+// the paper's Section 3.2 percentages.
+func TestGeneratedTrafficMatchesPaperShape(t *testing.T) {
+	m := runGenerator(t, GenConfig{Seed: 1, ConnsPerDay: 400})
+	tot := m.Totals()
+	if tot.Connections == 0 {
+		t.Fatal("no traffic")
+	}
+	pct := func(v uint64) float64 { return 100 * float64(v) / float64(tot.Connections) }
+
+	// 32.61% of connections contained at least one SCT (±2pp, burst days
+	// push it slightly above the base rate).
+	if p := pct(tot.WithSCT); p < 30.5 || p > 35.5 {
+		t.Errorf("SCT share = %.2f%%, want ≈32.6%%", p)
+	}
+	// 21.40% via certificate.
+	if p := pct(tot.CertSCT); p < 19.5 || p > 23.5 {
+		t.Errorf("cert share = %.2f%%, want ≈21.4%%", p)
+	}
+	// 11.21% via TLS extension (burst days add to this channel).
+	if p := pct(tot.TLSSCT); p < 10 || p > 15 {
+		t.Errorf("TLS share = %.2f%%, want ≈11.2–13%%", p)
+	}
+	// OCSP is rare (<0.1%).
+	if p := pct(tot.OCSPSCT); p > 0.1 {
+		t.Errorf("OCSP share = %.3f%%, want ≈0.008%%", p)
+	}
+	// Cert+TLS overlap is far rarer than either channel.
+	if tot.CertAndTLS > tot.CertSCT/100 {
+		t.Errorf("cert+TLS overlap = %d of %d", tot.CertAndTLS, tot.CertSCT)
+	}
+	// ~66.76% client support.
+	if p := pct(tot.ClientSupport); p < 63 || p > 71 {
+		t.Errorf("client support = %.2f%%, want ≈66.8%%", p)
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	m := runGenerator(t, GenConfig{Seed: 2, ConnsPerDay: 400})
+	rows := m.Table1(15)
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Pilot leads the certificate channel.
+	if rows[0].Log != ecosystem.LogGooglePilot {
+		t.Fatalf("top cert log = %q", rows[0].Log)
+	}
+	if rows[0].CertPct < 24 || rows[0].CertPct > 33 {
+		t.Fatalf("Pilot cert pct = %.2f", rows[0].CertPct)
+	}
+	// Symantec leads the TLS channel (40.19% in the paper).
+	var symantecTLS float64
+	var maxTLS float64
+	var maxTLSLog string
+	for _, r := range rows {
+		if r.Log == ecosystem.LogSymantec {
+			symantecTLS = r.TLSPct
+		}
+		if r.TLSPct > maxTLS {
+			maxTLS, maxTLSLog = r.TLSPct, r.Log
+		}
+	}
+	if maxTLSLog != ecosystem.LogSymantec {
+		t.Fatalf("top TLS log = %q", maxTLSLog)
+	}
+	if symantecTLS < 35 || symantecTLS > 46 {
+		t.Fatalf("Symantec TLS pct = %.2f, want ≈40", symantecTLS)
+	}
+	// DigiCert Log Server: strong on cert channel, ~absent on TLS channel.
+	for _, r := range rows {
+		if r.Log == ecosystem.LogDigiCert {
+			if r.CertPct < 7 || r.CertPct > 13 {
+				t.Fatalf("DigiCert cert pct = %.2f", r.CertPct)
+			}
+			if r.TLSPct > 1 {
+				t.Fatalf("DigiCert TLS pct = %.2f, want ≈0", r.TLSPct)
+			}
+		}
+	}
+	// A small number of logs dominates: top 3 carry >60% of cert SCTs.
+	if s := rows[0].CertPct + rows[1].CertPct + rows[2].CertPct; s < 55 {
+		t.Fatalf("top-3 cert share = %.2f", s)
+	}
+}
+
+func TestBurstDaysCreatePeaks(t *testing.T) {
+	m := runGenerator(t, GenConfig{Seed: 3, ConnsPerDay: 300, BurstDays: 5, BurstFactor: 5})
+	pts := m.Figure2()
+	if len(pts) < 300 {
+		t.Fatalf("days = %d", len(pts))
+	}
+	base, peak := 0.0, 0.0
+	for _, p := range pts {
+		if p.TotalSCTPct > peak {
+			peak = p.TotalSCTPct
+		}
+		base += p.TotalSCTPct
+	}
+	base /= float64(len(pts))
+	if peak < base+15 {
+		t.Fatalf("no visible peaks: base=%.1f peak=%.1f", base, peak)
+	}
+	// Peaks are driven by the TLS-extension channel (graph.facebook.com).
+	var peakDay Figure2Point
+	for _, p := range pts {
+		if p.TotalSCTPct == peak {
+			peakDay = p
+		}
+	}
+	if peakDay.TLSPct < peakDay.CertPct {
+		t.Fatalf("peak not TLS-driven: %+v", peakDay)
+	}
+}
+
+func TestNoBurstsOption(t *testing.T) {
+	m := runGenerator(t, GenConfig{Seed: 4, ConnsPerDay: 300, BurstDays: -1})
+	pts := m.Figure2()
+	peak := 0.0
+	for _, p := range pts {
+		if p.TotalSCTPct > peak {
+			peak = p.TotalSCTPct
+		}
+	}
+	if peak > 45 {
+		t.Fatalf("unexpected peak without bursts: %.1f", peak)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() Totals {
+		m := NewMonitor()
+		Generate(GenConfig{Seed: 9, ConnsPerDay: 100, Start: ecosystem.Date(2017, 5, 1), End: ecosystem.Date(2017, 5, 20)}, m.Observe)
+		return m.Totals()
+	}
+	if run() != run() {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestTable1PercentagesRelativeToChannel(t *testing.T) {
+	m := NewMonitor()
+	now := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	// 4 cert-channel conns: 3 via A, 1 via B. 2 TLS conns via B.
+	for i := 0; i < 3; i++ {
+		m.Observe(&Connection{Time: now, CertLogs: []string{"A"}})
+	}
+	m.Observe(&Connection{Time: now, CertLogs: []string{"B"}})
+	m.Observe(&Connection{Time: now, TLSLogs: []string{"B"}})
+	m.Observe(&Connection{Time: now, TLSLogs: []string{"B"}})
+	rows := m.Table1(2)
+	if rows[0].Log != "A" || rows[0].CertPct != 75 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].Log != "B" || rows[1].TLSPct != 100 {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+}
