@@ -285,18 +285,14 @@ func BenchmarkAblationLabelCensus(b *testing.B) {
 		})
 	})
 	b.Run("sharded", func(b *testing.B) {
-		const shards = 16
-		cs := make([]*stats.Counter, shards)
-		for i := range cs {
-			cs[i] = stats.NewCounter()
-		}
-		var shard int64
-		_ = shard
+		// FNV-1a shard selection via stats.ShardedCounter: a length-based
+		// key (all bench labels are 9 chars) would collapse every label
+		// onto one shard and measure nothing but added overhead.
+		sc := stats.NewShardedCounter(16)
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
-				l := labels[i%len(labels)]
-				cs[len(l)*31%shards].Inc(l)
+				sc.Inc(labels[i%len(labels)])
 				i++
 			}
 		})

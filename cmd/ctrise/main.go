@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ctrise [-seed 2018] [-scale 1] [-domains 20000] [-only fig1,fig2,tab1,scan,sec4,tab3,tab4]
+//	ctrise [-seed 2018] [-scale 1] [-domains 20000] [-parallelism 0] [-only fig1,fig2,tab1,scan,sec4,tab3,tab4]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "scale multiplier (1 = fast defaults)")
 	domains := flag.Int("domains", 20000, "registrable-domain population size")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,tab1,scan,sec4,tab3,tab4")
+	parallelism := flag.Int("parallelism", 0, "harvest/analysis worker bound (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -32,7 +33,12 @@ func main() {
 	}
 	enabled := func(k string) bool { return len(want) == 0 || want[k] }
 
-	s := experiments.NewSuite(experiments.Options{Seed: *seed, Scale: *scale, NumDomains: *domains})
+	s := experiments.NewSuite(experiments.Options{
+		Seed:        *seed,
+		Scale:       *scale,
+		NumDomains:  *domains,
+		Parallelism: *parallelism,
+	})
 	start := time.Now()
 
 	if enabled("fig1") {

@@ -1,0 +1,3 @@
+module ctrise
+
+go 1.24

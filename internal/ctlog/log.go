@@ -12,9 +12,11 @@
 package ctlog
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ctrise/internal/merkle"
@@ -82,6 +84,12 @@ type Log struct {
 	// published is the latest signed tree head; it may trail the tree by
 	// up to MMD.
 	published SignedTreeHead
+	// pub snapshots the published STH together with the entry prefix it
+	// covers. Entries below a published tree size are immutable (the log
+	// is append-only and *Entry values are never rewritten), so readers
+	// holding the snapshot can walk that prefix with no lock at all —
+	// the fast path StreamEntries and GetEntries ride on.
+	pub atomic.Pointer[publishedState]
 	// bucket implements a token bucket for CapacityPerSecond.
 	bucketTokens float64
 	bucketAt     time.Time
@@ -198,14 +206,22 @@ func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, err
 }
 
 // entryIdentity hashes the content identity of a submission for dedupe.
+// The tag/key-hash/TBS parts stream directly into one digest (the same
+// SHA-256(0x00 || type || payload) value merkle.HashLeaf would produce
+// over a concatenated buffer) so the per-submission hot path allocates no
+// intermediate payload slices.
 func entryIdentity(ce sct.CertificateEntry) merkle.Hash {
-	var tag [1]byte
-	tag[0] = byte(ce.Type)
-	payload := ce.Cert
+	h := sha256.New()
+	h.Write([]byte{0x00, byte(ce.Type)})
 	if ce.Type == sct.PrecertLogEntryType {
-		payload = append(append([]byte{}, ce.IssuerKeyHash[:]...), ce.TBS...)
+		h.Write(ce.IssuerKeyHash[:])
+		h.Write(ce.TBS)
+	} else {
+		h.Write(ce.Cert)
 	}
-	return merkle.HashLeaf(append(tag[:], payload...))
+	var out merkle.Hash
+	h.Sum(out[:0])
+	return out
 }
 
 // takeTokenLocked enforces CapacityPerSecond with a token bucket refilled
@@ -248,6 +264,15 @@ func (l *Log) PublishSTH() (SignedTreeHead, error) {
 	return l.published, nil
 }
 
+// publishedState is the immutable snapshot stored in Log.pub: the latest
+// STH and the (stable) entry slice prefix it covers.
+type publishedState struct {
+	sth SignedTreeHead
+	// entries has length sth.TreeHead.TreeSize. The backing array is
+	// shared with the live log but this prefix is append-frozen.
+	entries []*Entry
+}
+
 func (l *Log) publishLocked() error {
 	th := sct.TreeHead{
 		Timestamp: uint64(l.cfg.Clock().UnixMilli()),
@@ -259,22 +284,26 @@ func (l *Log) publishLocked() error {
 		return fmt.Errorf("ctlog: signing STH: %w", err)
 	}
 	l.published = SignedTreeHead{TreeHead: th, Sig: sig}
+	size := th.TreeSize
+	l.pub.Store(&publishedState{
+		sth:     l.published,
+		entries: l.entries[:size:size],
+	})
 	return nil
 }
 
 // STH returns the latest published signed tree head.
 func (l *Log) STH() SignedTreeHead {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.published
+	return l.pub.Load().sth
 }
 
 // GetEntries returns entries [start, end] (inclusive, like the RFC API),
-// truncated to MaxGetEntries and to the published tree size.
+// truncated to MaxGetEntries and to the published tree size. It reads the
+// published snapshot and takes no lock; the returned slice aliases the
+// log's immutable published prefix and must be treated as read-only.
 func (l *Log) GetEntries(start, end uint64) ([]*Entry, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	size := l.published.TreeHead.TreeSize
+	ps := l.pub.Load()
+	size := ps.sth.TreeHead.TreeSize
 	if start > end || start >= size {
 		return nil, fmt.Errorf("%w: start=%d end=%d size=%d", ErrBadRange, start, end, size)
 	}
@@ -284,11 +313,30 @@ func (l *Log) GetEntries(start, end uint64) ([]*Entry, error) {
 	if n := end - start + 1; n > uint64(l.cfg.MaxGetEntries) {
 		end = start + uint64(l.cfg.MaxGetEntries) - 1
 	}
-	out := make([]*Entry, 0, end-start+1)
-	for i := start; i <= end; i++ {
-		out = append(out, l.entries[i])
+	return ps.entries[start : end+1 : end+1], nil
+}
+
+// StreamEntries calls fn for every entry in [start, end] (inclusive),
+// clipped to the published tree size, and stops at fn's first error.
+// Unlike paging through GetEntries it allocates no per-batch slices and
+// acquires no locks: the published prefix is immutable, so the walk runs
+// entirely on the lock-free snapshot even while writers append. It is
+// the bulk-iteration substrate for harvest-scale crawls.
+func (l *Log) StreamEntries(start, end uint64, fn func(*Entry) error) error {
+	ps := l.pub.Load()
+	size := ps.sth.TreeHead.TreeSize
+	if start > end || start >= size {
+		return fmt.Errorf("%w: start=%d end=%d size=%d", ErrBadRange, start, end, size)
 	}
-	return out, nil
+	if end >= size {
+		end = size - 1
+	}
+	for _, e := range ps.entries[start : end+1] {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // GetProofByHash returns the inclusion proof and index for a leaf hash at

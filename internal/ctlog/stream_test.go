@@ -1,0 +1,158 @@
+package ctlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ctrise/internal/sct"
+)
+
+func newStreamTestLog(t *testing.T) *Log {
+	t.Helper()
+	l, err := New(Config{
+		Name:     "stream test log",
+		Operator: "Test",
+		Signer:   sct.NewFastSigner("stream test log"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// StreamEntries must visit exactly the entries GetEntries pagination
+// returns, in order, for the published prefix.
+func TestStreamEntriesMatchesGetEntries(t *testing.T) {
+	l := newStreamTestLog(t)
+	const total = 2500
+	for i := 0; i < total; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("cert-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	// Add unpublished entries; neither API may see them.
+	for i := 0; i < 50; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("unpublished-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var paged []*Entry
+	var start uint64
+	for start < total {
+		batch, err := l.GetEntries(start, total+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, batch...)
+		start += uint64(len(batch))
+	}
+
+	var streamed []*Entry
+	if err := l.StreamEntries(0, total+100, func(e *Entry) error {
+		streamed = append(streamed, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(streamed) != total || len(paged) != total {
+		t.Fatalf("streamed=%d paged=%d want %d", len(streamed), len(paged), total)
+	}
+	for i := range streamed {
+		if streamed[i] != paged[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+		if streamed[i].Index != uint64(i) {
+			t.Fatalf("entry %d has index %d", i, streamed[i].Index)
+		}
+	}
+}
+
+func TestStreamEntriesBadRangeAndAbort(t *testing.T) {
+	l := newStreamTestLog(t)
+	if _, err := l.AddChain([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StreamEntries(5, 10, func(*Entry) error { return nil }); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("err = %v, want ErrBadRange", err)
+	}
+	if err := l.StreamEntries(1, 0, func(*Entry) error { return nil }); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("err = %v, want ErrBadRange", err)
+	}
+	sentinel := errors.New("stop")
+	if err := l.StreamEntries(0, 0, func(*Entry) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+// Concurrent readers streaming the published prefix while writers append
+// and republish must never race (run under -race) and must always see a
+// consistent snapshot: every streamed prefix is a prefix of the final
+// log.
+func TestStreamEntriesConcurrentWithAppends(t *testing.T) {
+	l := newStreamTestLog(t)
+	for i := 0; i < 100; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("seed-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				size := l.STH().TreeHead.TreeSize
+				var prev uint64
+				err := l.StreamEntries(0, size-1, func(e *Entry) error {
+					if e.Index != prev {
+						return fmt.Errorf("index %d, want %d", e.Index, prev)
+					}
+					prev++
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("live-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 0 {
+			if _, err := l.PublishSTH(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

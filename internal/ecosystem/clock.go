@@ -4,6 +4,13 @@
 // subdomain-label model behind Table 2, a registrable-domain population,
 // and the virtual clock that replays the 2015–2018 timeline
 // deterministically.
+//
+// The harvest side of the package is a concurrent pipeline: HarvestLogs
+// chunks every log's published entries into ranges, streams them
+// lock-free via ctlog.Log.StreamEntries across Config.Parallelism
+// workers (GOMAXPROCS by default), dedupes FQDNs in a sharded set, and
+// merges the workers' private partial aggregates deterministically —
+// harvest output is identical at any parallelism setting.
 package ecosystem
 
 import (

@@ -1,6 +1,9 @@
 package ecosystem
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ctrise/internal/certs"
@@ -30,79 +33,217 @@ type Harvest struct {
 	HeatmapFrom, HeatmapTo time.Time
 }
 
-// HarvestLogs walks every log and aggregates. heatFrom/heatTo bound the
-// Figure 1c window (the paper uses April 2018).
-func (w *World) HarvestLogs(heatFrom, heatTo time.Time) (*Harvest, error) {
-	h := &Harvest{
-		PrecertsByOrgDay: stats.NewDaySeries(),
-		PrecertsByOrgLog: make(map[string]*stats.Counter),
-		Names:            make(map[string]struct{}),
-		HeatmapFrom:      heatFrom,
-		HeatmapTo:        heatTo,
-	}
-	for _, name := range w.LogNames {
-		l := w.Logs[name]
-		size := l.STH().TreeHead.TreeSize
-		var start uint64
-		for start < size {
-			end := start + 999
-			if end >= size {
-				end = size - 1
-			}
-			entries, err := l.GetEntries(start, end)
-			if err != nil {
-				return nil, err
-			}
-			for _, e := range entries {
-				h.observe(name, e)
-			}
-			start = end + 1
-		}
-	}
-	return h, nil
+// harvestChunk is the entry-range granularity of one work unit. Small
+// enough that the largest log (Nimbus2018 after the Let's Encrypt ramp)
+// splits across all workers instead of serializing on one.
+const harvestChunk = 4096
+
+// harvestTask is one (log, entry range) unit of crawl work.
+type harvestTask struct {
+	logName    string
+	log        *ctlog.Log
+	start, end uint64 // inclusive
 }
 
-func (h *Harvest) observe(logName string, e *ctlog.Entry) {
+// partialHarvest is one worker's private, lock-free aggregate. Workers
+// never share these; the merge step folds them into the final Harvest.
+type partialHarvest struct {
+	// dayCounts is org → day → precert count (the DaySeries rows).
+	dayCounts map[string]map[string]float64
+	// orgLog is org → log name → precert count within the heat window.
+	orgLog map[string]map[string]uint64
+	// lastDayNum/lastDayKey memoize DayKey formatting: entries within
+	// a chunk overwhelmingly share a day, so the common case skips
+	// time.Format entirely.
+	lastDayNum    int64
+	lastDayKey    string
+	totalPrecerts uint64
+	totalFinal    uint64
+}
+
+func newPartialHarvest() *partialHarvest {
+	return &partialHarvest{
+		dayCounts:  make(map[string]map[string]float64),
+		orgLog:     make(map[string]map[string]uint64),
+		lastDayNum: -1,
+	}
+}
+
+const dayMillis = 24 * 60 * 60 * 1000
+
+// observe folds one log entry into the partial aggregate. names is the
+// sharded FQDN-dedup set all workers share.
+func (p *partialHarvest) observe(h *Harvest, names *stats.StringSet, logName string, e *ctlog.Entry) {
 	// Both precert TBS bytes and final-cert bytes use the synthetic codec.
 	cert, err := certs.Decode(e.Cert)
 	if err != nil {
 		// Foreign entries (e.g. hand-submitted DER) are counted but not
 		// attributed.
 		if e.Type == sct.PrecertLogEntryType {
-			h.TotalPrecerts++
+			p.totalPrecerts++
 		} else {
-			h.TotalFinal++
+			p.totalFinal++
 		}
 		return
 	}
 	for _, n := range cert.Names() {
-		h.Names[n] = struct{}{}
+		names.Add(n)
 	}
-	ts := time.UnixMilli(int64(e.Timestamp)).UTC()
+	if e.Type != sct.PrecertLogEntryType {
+		p.totalFinal++
+		return
+	}
+	p.totalPrecerts++
+	millis := int64(e.Timestamp)
+	if day := millis / dayMillis; day != p.lastDayNum {
+		p.lastDayNum = day
+		p.lastDayKey = stats.DayKey(time.UnixMilli(millis))
+	}
 	org := cert.Issuer.Organization
-	if e.Type == sct.PrecertLogEntryType {
-		h.TotalPrecerts++
-		h.PrecertsByOrgDay.Add(org, ts, 1)
-		if !ts.Before(h.HeatmapFrom) && ts.Before(h.HeatmapTo) {
-			c := h.PrecertsByOrgLog[org]
-			if c == nil {
-				c = stats.NewCounter()
-				h.PrecertsByOrgLog[org] = c
+	row := p.dayCounts[org]
+	if row == nil {
+		row = make(map[string]float64)
+		p.dayCounts[org] = row
+	}
+	row[p.lastDayKey]++
+	ts := time.UnixMilli(millis).UTC()
+	if !ts.Before(h.HeatmapFrom) && ts.Before(h.HeatmapTo) {
+		ol := p.orgLog[org]
+		if ol == nil {
+			ol = make(map[string]uint64)
+			p.orgLog[org] = ol
+		}
+		ol[logName]++
+	}
+}
+
+// mergeInto folds the partial into the final Harvest. All contributions
+// are additive, so the result is independent of worker scheduling and
+// merge order — parallel output is identical to the sequential path.
+func (p *partialHarvest) mergeInto(h *Harvest) {
+	h.TotalPrecerts += p.totalPrecerts
+	h.TotalFinal += p.totalFinal
+	h.PrecertsByOrgDay.MergeTable(p.dayCounts)
+	for org, counts := range p.orgLog {
+		c := h.PrecertsByOrgLog[org]
+		if c == nil {
+			c = stats.NewCounter()
+			h.PrecertsByOrgLog[org] = c
+		}
+		c.AddMap(counts)
+	}
+}
+
+// HarvestLogs walks every log and aggregates, fanning out over
+// Config.Parallelism workers (GOMAXPROCS when 0). heatFrom/heatTo bound
+// the Figure 1c window (the paper uses April 2018).
+func (w *World) HarvestLogs(heatFrom, heatTo time.Time) (*Harvest, error) {
+	return w.HarvestLogsParallel(heatFrom, heatTo, w.Cfg.Parallelism)
+}
+
+// HarvestLogsParallel is HarvestLogs with an explicit worker bound:
+// 0 means GOMAXPROCS, 1 runs the crawl inline. Every log is chunked into
+// harvestChunk-entry ranges streamed lock-free below the published STH;
+// workers pull chunks off a shared cursor, build private partial
+// harvests, and the partials merge deterministically at the end.
+func (w *World) HarvestLogsParallel(heatFrom, heatTo time.Time, parallelism int) (*Harvest, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	h := &Harvest{
+		PrecertsByOrgDay: stats.NewDaySeries(),
+		PrecertsByOrgLog: make(map[string]*stats.Counter),
+		HeatmapFrom:      heatFrom,
+		HeatmapTo:        heatTo,
+	}
+
+	var tasks []harvestTask
+	for _, name := range w.LogNames {
+		l := w.Logs[name]
+		size := l.STH().TreeHead.TreeSize
+		for start := uint64(0); start < size; start += harvestChunk {
+			end := start + harvestChunk - 1
+			if end >= size {
+				end = size - 1
 			}
-			c.Inc(logName)
+			tasks = append(tasks, harvestTask{logName: name, log: l, start: start, end: end})
+		}
+	}
+	if parallelism > len(tasks) {
+		parallelism = len(tasks)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+
+	names := stats.NewStringSet(0)
+	run := func(p *partialHarvest, t harvestTask) error {
+		return t.log.StreamEntries(t.start, t.end, func(e *ctlog.Entry) error {
+			p.observe(h, names, t.logName, e)
+			return nil
+		})
+	}
+
+	partials := make([]*partialHarvest, parallelism)
+	if parallelism == 1 {
+		partials[0] = newPartialHarvest()
+		for _, t := range tasks {
+			if err := run(partials[0], t); err != nil {
+				return nil, err
+			}
 		}
 	} else {
-		h.TotalFinal++
+		var (
+			cursor   atomic.Int64
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+		)
+		for i := 0; i < parallelism; i++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				p := newPartialHarvest()
+				partials[slot] = p
+				for {
+					n := int(cursor.Add(1)) - 1
+					if n >= len(tasks) {
+						return
+					}
+					if err := run(p, tasks[n]); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
+
+	for _, p := range partials {
+		p.mergeInto(h)
+	}
+	h.Names = names.Snapshot()
+	return h, nil
 }
 
 // CumulativeByOrg returns, per organization, the cumulative precert counts
 // aligned with Days() — Figure 1a's series.
 func (h *Harvest) CumulativeByOrg() (days []string, series map[string][]float64) {
-	days = h.PrecertsByOrgDay.Days()
-	series = make(map[string][]float64)
-	for _, org := range h.PrecertsByOrgDay.SeriesNames() {
-		series[org] = h.PrecertsByOrgDay.Cumulative(org)
+	days, orgs, table := h.PrecertsByOrgDay.Table()
+	series = make(map[string][]float64, len(orgs))
+	for _, org := range orgs {
+		row := table[org]
+		out := make([]float64, len(days))
+		var sum float64
+		for i, d := range days {
+			sum += row[d]
+			out[i] = sum
+		}
+		series[org] = out
 	}
 	return days, series
 }
@@ -110,22 +251,21 @@ func (h *Harvest) CumulativeByOrg() (days []string, series map[string][]float64)
 // DailyShareByOrg returns, per organization, each day's share of that
 // day's total precert logging — Figure 1b's relative update rate.
 func (h *Harvest) DailyShareByOrg() (days []string, series map[string][]float64) {
-	days = h.PrecertsByOrgDay.Days()
-	orgs := h.PrecertsByOrgDay.SeriesNames()
-	series = make(map[string][]float64)
+	days, orgs, table := h.PrecertsByOrgDay.Table()
+	series = make(map[string][]float64, len(orgs))
 	for _, org := range orgs {
 		series[org] = make([]float64, len(days))
 	}
 	for i, day := range days {
 		var total float64
 		for _, org := range orgs {
-			total += h.PrecertsByOrgDay.Value(org, day)
+			total += table[org][day]
 		}
 		if total == 0 {
 			continue
 		}
 		for _, org := range orgs {
-			series[org][i] = h.PrecertsByOrgDay.Value(org, day) / total
+			series[org][i] = table[org][day] / total
 		}
 	}
 	return days, series

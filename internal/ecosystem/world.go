@@ -31,6 +31,10 @@ type Config struct {
 	// (submissions/second of virtual time) to reproduce the overload
 	// incident.
 	NimbusCapacity float64
+	// Parallelism bounds the worker count of the harvest-and-analysis
+	// data plane (HarvestLogs). 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Output is identical at every setting.
+	Parallelism int
 }
 
 // Domain is one registrable domain of the population.

@@ -65,7 +65,7 @@ func (s *Suite) Section4() (*Section4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	census := subenum.RunCensus(h.Names, w.PSL)
+	census := subenum.RunCensusParallel(h.Names, w.PSL, s.opts.Parallelism)
 	res := &Section4Result{
 		Census:       census,
 		Table2:       census.Table2(20),
@@ -94,11 +94,15 @@ func (s *Suite) Section4() (*Section4Result, error) {
 
 	candidates := subenum.Construct(census, domainsBySuffix, subenum.ConstructConfig{
 		MinLabelCount: minCount,
+		Parallelism:   s.opts.Parallelism,
 	})
 	res.Candidates = len(candidates)
 
 	registry := asn.DefaultRegistry()
-	res.Funnel = subenum.Verify(candidates, universe, registry, subenum.VerifyConfig{Seed: s.opts.Seed + 45})
+	res.Funnel = subenum.Verify(candidates, universe, registry, subenum.VerifyConfig{
+		Seed:        s.opts.Seed + 45,
+		Parallelism: s.opts.Parallelism,
+	})
 	res.SonarKnown, res.SonarNew = subenum.CompareSonar(res.Funnel.NewFQDNs, sonar)
 	res.DomainOverlap, res.LabelOverlap = subenum.OverlapStats(census, sonar, w.PSL)
 	return res, nil

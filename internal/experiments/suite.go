@@ -21,6 +21,11 @@ type Options struct {
 	Scale float64
 	// NumDomains overrides the registrable-domain population size.
 	NumDomains int
+	// Parallelism bounds the worker fan-out of the harvest and analysis
+	// pipelines (log crawl, census, candidate construction, massdns-style
+	// verification). 0 means GOMAXPROCS; 1 forces the sequential path.
+	// Results are identical at every setting.
+	Parallelism int
 }
 
 func (o *Options) setDefaults() {
@@ -63,9 +68,10 @@ func (s *Suite) World() (*ecosystem.World, *ecosystem.Harvest, error) {
 		return s.world, s.harvest, s.worldErr
 	}
 	w, err := ecosystem.New(ecosystem.Config{
-		Seed:       s.opts.Seed,
-		Scale:      worldScale * s.opts.Scale,
-		NumDomains: s.opts.NumDomains,
+		Seed:        s.opts.Seed,
+		Scale:       worldScale * s.opts.Scale,
+		NumDomains:  s.opts.NumDomains,
+		Parallelism: s.opts.Parallelism,
 	})
 	if err != nil {
 		s.worldErr = err

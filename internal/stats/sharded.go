@@ -1,0 +1,155 @@
+package stats
+
+import "sync"
+
+// Shards is the default shard count of ShardedCounter and StringSet:
+// enough to make cross-core contention unlikely at typical worker counts
+// without bloating the merge step.
+const Shards = 16
+
+// fnv1a is the 64-bit FNV-1a hash, inlined so shard selection costs one
+// pass over the key and no allocation.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Shard maps key onto [0, n) by FNV-1a. Length- or pointer-based schemes
+// collapse same-shaped keys onto one shard (equal-length labels all land
+// together); FNV-1a spreads them uniformly.
+func Shard(key string, n int) int {
+	return int(fnv1a(key) % uint64(n))
+}
+
+// ShardedCounter is a Counter split over independently locked shards
+// selected by FNV-1a of the key, so concurrent writers touching different
+// keys rarely contend. Reads that need the whole distribution flatten the
+// shards into a plain Counter.
+type ShardedCounter struct {
+	shards []*Counter
+}
+
+// NewShardedCounter returns a counter with n shards (Shards if n <= 0).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n <= 0 {
+		n = Shards
+	}
+	cs := make([]*Counter, n)
+	for i := range cs {
+		cs[i] = NewCounter()
+	}
+	return &ShardedCounter{shards: cs}
+}
+
+// Add increments key by n in its shard.
+func (s *ShardedCounter) Add(key string, n uint64) {
+	s.shards[Shard(key, len(s.shards))].Add(key, n)
+}
+
+// Inc increments key by one.
+func (s *ShardedCounter) Inc(key string) { s.Add(key, 1) }
+
+// Get returns the count for key.
+func (s *ShardedCounter) Get(key string) uint64 {
+	return s.shards[Shard(key, len(s.shards))].Get(key)
+}
+
+// Total returns the sum over all keys.
+func (s *ShardedCounter) Total() uint64 {
+	var t uint64
+	for _, c := range s.shards {
+		t += c.Total()
+	}
+	return t
+}
+
+// Flatten collapses the shards into one Counter. Because every key lives
+// in exactly one shard, the result equals the counter an unsharded run
+// would have produced.
+func (s *ShardedCounter) Flatten() *Counter {
+	out := NewCounter()
+	for _, c := range s.shards {
+		out.Merge(c)
+	}
+	return out
+}
+
+// StringSet is a deduplicating string set split over independently locked
+// shards selected by FNV-1a — the FQDN-dedup structure the parallel
+// harvest workers share. Membership of a name is decided by one shard's
+// lock, so workers inserting different names proceed without contention.
+type StringSet struct {
+	shards []stringSetShard
+}
+
+type stringSetShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+// NewStringSet returns a set with n shards (Shards if n <= 0).
+func NewStringSet(n int) *StringSet {
+	if n <= 0 {
+		n = Shards
+	}
+	s := &StringSet{shards: make([]stringSetShard, n)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+// Add inserts key, reporting whether it was new.
+func (s *StringSet) Add(key string) bool {
+	sh := &s.shards[Shard(key, len(s.shards))]
+	sh.mu.Lock()
+	_, dup := sh.m[key]
+	if !dup {
+		sh.m[key] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// Has reports membership.
+func (s *StringSet) Has(key string) bool {
+	sh := &s.shards[Shard(key, len(s.shards))]
+	sh.mu.Lock()
+	_, ok := sh.m[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of distinct keys.
+func (s *StringSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot materializes the set as a plain map, sized exactly.
+func (s *StringSet) Snapshot() map[string]struct{} {
+	out := make(map[string]struct{}, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			out[k] = struct{}{}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

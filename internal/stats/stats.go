@@ -29,6 +29,26 @@ func (c *Counter) Add(key string, n uint64) {
 // Inc increments key by one.
 func (c *Counter) Inc(key string) { c.Add(key, 1) }
 
+// Merge adds every count of o into c. It is the reduction step of the
+// parallel pipelines: workers accumulate into private counters and merge
+// them once at the end instead of contending on a shared lock per event.
+func (c *Counter) Merge(o *Counter) {
+	// Snapshot o before locking c: holding both mutexes at once would
+	// deadlock on cross-merges (a.Merge(b) racing b.Merge(a)) or a
+	// self-merge.
+	c.AddMap(o.Snapshot())
+}
+
+// AddMap accumulates a plain count map into c under one lock
+// acquisition.
+func (c *Counter) AddMap(m map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range m {
+		c.m[k] += v
+	}
+}
+
 // Get returns the count for key.
 func (c *Counter) Get(key string) uint64 {
 	c.mu.RLock()
@@ -165,14 +185,81 @@ func (s *DaySeries) Value(series, day string) float64 {
 	return s.values[series][day]
 }
 
+// Series returns a copy of one series' day→value map under a single lock
+// acquisition, for bulk consumers that would otherwise call Value once
+// per cell.
+func (s *DaySeries) Series(name string) map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.values[name]))
+	for d, v := range s.values[name] {
+		out[d] = v
+	}
+	return out
+}
+
+// Table returns sorted days, sorted series names, and a deep copy of the
+// full (series, day) value table under one lock acquisition — the bulk
+// accessor behind the Figure 1 aggregations, which previously took the
+// mutex O(series×days) times.
+func (s *DaySeries) Table() (days, names []string, values map[string]map[string]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	days = make([]string, 0, len(s.days))
+	for d := range s.days {
+		days = append(days, d)
+	}
+	sort.Strings(days)
+	names = make([]string, 0, len(s.values))
+	values = make(map[string]map[string]float64, len(s.values))
+	for name, row := range s.values {
+		names = append(names, name)
+		cp := make(map[string]float64, len(row))
+		for d, v := range row {
+			cp[d] = v
+		}
+		values[name] = cp
+	}
+	sort.Strings(names)
+	return days, names, values
+}
+
+// Merge accumulates every (series, day) value of o into s — the
+// reduction step matching Counter.Merge. o is snapshotted first so the
+// two locks are never held together (see Counter.Merge).
+func (s *DaySeries) Merge(o *DaySeries) {
+	_, _, table := o.Table()
+	s.MergeTable(table)
+}
+
+// MergeTable accumulates a plain (series, day) value table into s under
+// one lock acquisition — the bulk form of Add that parallel workers use
+// to fold lock-free private aggregates into a shared series.
+func (s *DaySeries) MergeTable(values map[string]map[string]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, row := range values {
+		m := s.values[name]
+		if m == nil {
+			m = make(map[string]float64, len(row))
+			s.values[name] = m
+		}
+		for d, v := range row {
+			m[d] += v
+			s.days[d] = true
+		}
+	}
+}
+
 // Cumulative returns the running sum of a series over all days, aligned
 // with Days().
 func (s *DaySeries) Cumulative(series string) []float64 {
 	days := s.Days()
+	row := s.Series(series)
 	out := make([]float64, len(days))
 	var sum float64
 	for i, d := range days {
-		sum += s.Value(series, d)
+		sum += row[d]
 		out[i] = sum
 	}
 	return out

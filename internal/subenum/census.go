@@ -5,9 +5,16 @@
 // massdns-style concurrent verification with pseudorandom control names
 // against wildcard zones, CNAME chasing, routing-table filtering, and the
 // Sonar comparison.
+//
+// The census and the candidate construction both fan out over name
+// chunks (RunCensusParallel, ConstructConfig.Parallelism); every
+// aggregate they produce is additive, so parallel output is identical to
+// the sequential path at any worker count.
 package subenum
 
 import (
+	"runtime"
+	"sort"
 	"sync"
 
 	"ctrise/internal/dnsname"
@@ -22,7 +29,8 @@ type Census struct {
 	// LabelsBySuffix counts labels per public suffix (Section 4.2's
 	// "most common subdomain label for each public suffix").
 	LabelsBySuffix map[string]*stats.Counter
-	// DomainsBySuffix groups the corpus's registrable domains by suffix.
+	// DomainsBySuffix groups the corpus's registrable domains by suffix,
+	// sorted per suffix for deterministic output.
 	DomainsBySuffix map[string][]string
 	// ValidFQDNs is the number of names that survived validation.
 	ValidFQDNs uint64
@@ -31,45 +39,132 @@ type Census struct {
 	Rejected uint64
 }
 
-// RunCensus parses a deduplicated CT name corpus: validates each FQDN,
-// splits it at the registrable domain per the PSL, and counts subdomain
-// labels. Wildcard prefixes ("*.") are stripped first, as certificate
-// names often carry them.
+// RunCensus parses a deduplicated CT name corpus with GOMAXPROCS-way
+// parallelism: it validates each FQDN, splits it at the registrable
+// domain per the PSL, and counts subdomain labels. Wildcard prefixes
+// ("*.") are stripped first, as certificate names often carry them.
 func RunCensus(names map[string]struct{}, list *psl.List) *Census {
+	return RunCensusParallel(names, list, 0)
+}
+
+// censusPartial is one worker's private aggregate over a chunk of names.
+type censusPartial struct {
+	labels         map[string]uint64
+	labelsBySuffix map[string]map[string]uint64
+	// domains maps registrable domain → suffix; the merge step dedups
+	// across workers (two chunks may both see a domain).
+	domains    map[string]string
+	validFQDNs uint64
+	rejected   uint64
+}
+
+// runCensusChunk parses one chunk of names into a private aggregate.
+func runCensusChunk(names []string, list *psl.List) *censusPartial {
+	p := &censusPartial{
+		labels:         make(map[string]uint64),
+		labelsBySuffix: make(map[string]map[string]uint64),
+		domains:        make(map[string]string),
+	}
+	for _, raw := range names {
+		name := dnsname.Normalize(dnsname.TrimWildcard(raw))
+		if !dnsname.IsValidFQDN(name) {
+			p.rejected++
+			continue
+		}
+		sub, regDomain, suffix, err := list.Split(name)
+		if err != nil {
+			p.rejected++
+			continue
+		}
+		p.validFQDNs++
+		p.domains[regDomain] = suffix
+		for _, label := range sub {
+			p.labels[label]++
+			sc := p.labelsBySuffix[suffix]
+			if sc == nil {
+				sc = make(map[string]uint64)
+				p.labelsBySuffix[suffix] = sc
+			}
+			sc[label]++
+		}
+	}
+	return p
+}
+
+// RunCensusParallel is RunCensus with an explicit worker bound (0 means
+// GOMAXPROCS, 1 runs inline). The corpus is split into chunks, each
+// worker builds a private aggregate, and the merge is deterministic:
+// counts are additive and per-suffix domain lists are sorted.
+func RunCensusParallel(names map[string]struct{}, list *psl.List, parallelism int) *Census {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	all := make([]string, 0, len(names))
+	for raw := range names {
+		all = append(all, raw)
+	}
+
+	var partials []*censusPartial
+	if parallelism <= 1 || len(all) < 2*censusMinChunk {
+		partials = []*censusPartial{runCensusChunk(all, list)}
+	} else {
+		chunk := (len(all) + parallelism - 1) / parallelism
+		if chunk < censusMinChunk {
+			chunk = censusMinChunk
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for lo := 0; lo < len(all); lo += chunk {
+			hi := lo + chunk
+			if hi > len(all) {
+				hi = len(all)
+			}
+			wg.Add(1)
+			go func(part []string) {
+				defer wg.Done()
+				p := runCensusChunk(part, list)
+				mu.Lock()
+				partials = append(partials, p)
+				mu.Unlock()
+			}(all[lo:hi])
+		}
+		wg.Wait()
+	}
+
 	c := &Census{
 		Labels:          stats.NewCounter(),
 		LabelsBySuffix:  make(map[string]*stats.Counter),
 		DomainsBySuffix: make(map[string][]string),
 	}
 	seenDomains := make(map[string]bool)
-	for raw := range names {
-		name := dnsname.Normalize(dnsname.TrimWildcard(raw))
-		if !dnsname.IsValidFQDN(name) {
-			c.Rejected++
-			continue
-		}
-		sub, regDomain, suffix, err := list.Split(name)
-		if err != nil {
-			c.Rejected++
-			continue
-		}
-		c.ValidFQDNs++
-		if !seenDomains[regDomain] {
-			seenDomains[regDomain] = true
-			c.DomainsBySuffix[suffix] = append(c.DomainsBySuffix[suffix], regDomain)
-		}
-		for _, label := range sub {
-			c.Labels.Inc(label)
+	for _, p := range partials {
+		c.ValidFQDNs += p.validFQDNs
+		c.Rejected += p.rejected
+		c.Labels.AddMap(p.labels)
+		for suffix, counts := range p.labelsBySuffix {
 			sc := c.LabelsBySuffix[suffix]
 			if sc == nil {
 				sc = stats.NewCounter()
 				c.LabelsBySuffix[suffix] = sc
 			}
-			sc.Inc(label)
+			sc.AddMap(counts)
 		}
+		for regDomain, suffix := range p.domains {
+			if !seenDomains[regDomain] {
+				seenDomains[regDomain] = true
+				c.DomainsBySuffix[suffix] = append(c.DomainsBySuffix[suffix], regDomain)
+			}
+		}
+	}
+	for _, domains := range c.DomainsBySuffix {
+		sort.Strings(domains)
 	}
 	return c
 }
+
+// censusMinChunk is the smallest chunk worth a goroutine; corpora below
+// twice this run inline.
+const censusMinChunk = 512
 
 // Table2 returns the top-k subdomain labels.
 func (c *Census) Table2(k int) []stats.KV { return c.Labels.TopK(k) }
@@ -101,26 +196,38 @@ func (c *Census) WordlistCoverage(wordlist []string) int {
 	return n
 }
 
-// concurrency is the massdns-style resolver fan-out used by Verify.
+// concurrency is the default massdns-style resolver fan-out used by
+// Verify (VerifyConfig.Parallelism overrides it).
 const concurrency = 16
 
-// parallelForEach runs fn over items with bounded concurrency, preserving
-// no order (results are accumulated by the caller under its own lock).
-func parallelForEach[T any](items []T, fn func(T)) {
+// parallelForEach runs fn over items with the given worker count,
+// splitting items into contiguous per-worker chunks (no channel traffic
+// on the hot path). workers <= 1 runs inline. Results are accumulated by
+// the caller under its own synchronization.
+func parallelForEach[T any](items []T, workers int, fn func(T)) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, it := range items {
+			fn(it)
+		}
+		return
+	}
+	chunk := (len(items) + workers - 1) / workers
 	var wg sync.WaitGroup
-	ch := make(chan T)
-	for i := 0; i < concurrency; i++ {
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
 		wg.Add(1)
-		go func() {
+		go func(part []T) {
 			defer wg.Done()
-			for it := range ch {
+			for _, it := range part {
 				fn(it)
 			}
-		}()
+		}(items[lo:hi])
 	}
-	for _, it := range items {
-		ch <- it
-	}
-	close(ch)
 	wg.Wait()
 }

@@ -3,8 +3,8 @@ package subenum
 import (
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
-	"sync"
 
 	"ctrise/internal/dnsmsg"
 	"ctrise/internal/dnsname"
@@ -23,6 +23,9 @@ type ConstructConfig struct {
 	// SkipSuffixes are excluded as "too generic" (the paper skips .com,
 	// .net, .org).
 	SkipSuffixes map[string]bool
+	// Parallelism bounds the label-level fan-out (0 means GOMAXPROCS,
+	// 1 runs inline). The candidate list is identical at any setting.
+	Parallelism int
 }
 
 func (c *ConstructConfig) setDefaults() {
@@ -31,6 +34,9 @@ func (c *ConstructConfig) setDefaults() {
 	}
 	if c.SkipSuffixes == nil {
 		c.SkipSuffixes = map[string]bool{"com": true, "net": true, "org": true}
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -47,44 +53,66 @@ type Candidate struct {
 // domain list (Section 4.1's 206M-entry list, scaled), keyed by suffix.
 func Construct(census *Census, domainsBySuffix map[string][]string, cfg ConstructConfig) []Candidate {
 	cfg.setDefaults()
-	var out []Candidate
 	// Deterministic label order: by count descending.
+	var labels []string
 	for _, kv := range census.Labels.TopK(census.Labels.Len()) {
-		label := kv.Key
 		if kv.Count < cfg.MinLabelCount {
 			break // TopK is sorted; everything after is smaller
 		}
-		// Rank suffixes by this label's occurrence count.
-		type sc struct {
-			suffix string
-			count  uint64
+		labels = append(labels, kv.Key)
+	}
+	// Each label's candidate block is independent, so the blocks are
+	// built in parallel and concatenated in label order — the same list
+	// a sequential loop produces.
+	perLabel := make([][]Candidate, len(labels))
+	parallelForEach(seq(len(labels)), cfg.Parallelism, func(i int) {
+		perLabel[i] = constructLabel(census, domainsBySuffix, cfg, labels[i])
+	})
+	var total int
+	for _, block := range perLabel {
+		total += len(block)
+	}
+	out := make([]Candidate, 0, total)
+	for _, block := range perLabel {
+		out = append(out, block...)
+	}
+	return out
+}
+
+// constructLabel builds one label's candidate block: rank the suffixes
+// the label occurs under, take the top ones, and prepend the label to
+// every known registrable domain there.
+func constructLabel(census *Census, domainsBySuffix map[string][]string, cfg ConstructConfig, label string) []Candidate {
+	type sc struct {
+		suffix string
+		count  uint64
+	}
+	var ranked []sc
+	for suffix, counter := range census.LabelsBySuffix {
+		if cfg.SkipSuffixes[suffix] {
+			continue
 		}
-		var ranked []sc
-		for suffix, counter := range census.LabelsBySuffix {
-			if cfg.SkipSuffixes[suffix] {
-				continue
-			}
-			if n := counter.Get(label); n > 0 {
-				ranked = append(ranked, sc{suffix, n})
-			}
+		if n := counter.Get(label); n > 0 {
+			ranked = append(ranked, sc{suffix, n})
 		}
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].count != ranked[j].count {
-				return ranked[i].count > ranked[j].count
-			}
-			return ranked[i].suffix < ranked[j].suffix
-		})
-		if len(ranked) > cfg.TopSuffixes {
-			ranked = ranked[:cfg.TopSuffixes]
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
 		}
-		for _, r := range ranked {
-			for _, domain := range domainsBySuffix[r.suffix] {
-				out = append(out, Candidate{
-					FQDN:   dnsname.Prepend(label, domain),
-					Label:  label,
-					Domain: domain,
-				})
-			}
+		return ranked[i].suffix < ranked[j].suffix
+	})
+	if len(ranked) > cfg.TopSuffixes {
+		ranked = ranked[:cfg.TopSuffixes]
+	}
+	var out []Candidate
+	for _, r := range ranked {
+		for _, domain := range domainsBySuffix[r.suffix] {
+			out = append(out, Candidate{
+				FQDN:   dnsname.Prepend(label, domain),
+				Label:  label,
+				Domain: domain,
+			})
 		}
 	}
 	return out
@@ -105,6 +133,10 @@ type VerifyConfig struct {
 	// ControlLabelLen is the pseudorandom control label length (16 in the
 	// paper).
 	ControlLabelLen int
+	// Parallelism is the resolver fan-out (the massdns-style concurrency,
+	// 16 by default; 1 runs inline). The funnel is identical at any
+	// setting.
+	Parallelism int
 }
 
 func (c *VerifyConfig) setDefaults() {
@@ -113,6 +145,9 @@ func (c *VerifyConfig) setDefaults() {
 	}
 	if c.ControlLabelLen <= 0 {
 		c.ControlLabelLen = 16
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = concurrency
 	}
 }
 
@@ -149,47 +184,85 @@ func Verify(candidates []Candidate, universe *dnssim.Universe, routes RouteCheck
 			controlFor[c.Domain] = dnsname.RandomLabel(rng, cfg.ControlLabelLen)
 		}
 	}
-	controlResolves := make(map[string]bool, len(controlFor))
 	type domCtl struct{ domain, label string }
-	var ctls []domCtl
+	ctls := make([]domCtl, 0, len(controlFor))
 	for d, l := range controlFor {
 		ctls = append(ctls, domCtl{d, l})
 	}
 	sort.Slice(ctls, func(i, j int) bool { return ctls[i].domain < ctls[j].domain })
-	var mu sync.Mutex
-	parallelForEach(ctls, func(dc domCtl) {
-		ok, _ := resolves(universe, dnsname.Prepend(dc.label, dc.domain), routes, cfg.MaxCNAME)
-		mu.Lock()
-		controlResolves[dc.domain] = ok
-		mu.Unlock()
+	// Index-aligned results: each worker writes its own slots, no lock.
+	ctlOK := make([]bool, len(ctls))
+	parallelForEach(seq(len(ctls)), cfg.Parallelism, func(i int) {
+		ctlOK[i], _ = resolves(universe, dnsname.Prepend(ctls[i].label, ctls[i].domain), routes, cfg.MaxCNAME)
 	})
+	controlResolves := make(map[string]bool, len(ctls))
+	for i, dc := range ctls {
+		controlResolves[dc.domain] = ctlOK[i]
+	}
 
-	var newNames []string
-	var testAnswers, controlAnswers, unrouted uint64
-	parallelForEach(candidates, func(c Candidate) {
-		ok, dropped := resolves(universe, c.FQDN, routes, cfg.MaxCNAME)
-		mu.Lock()
-		defer mu.Unlock()
-		if dropped {
-			unrouted++
+	// Candidate phase: contiguous chunks, one private partial per chunk,
+	// merged after the barrier — no shared lock on the resolution path.
+	type verifyPartial struct {
+		testAnswers, controlAnswers, unrouted uint64
+		newNames                              []string
+	}
+	workers := cfg.Parallelism
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(candidates) + workers - 1) / workers
+	nChunks := 0
+	if len(candidates) > 0 {
+		nChunks = (len(candidates) + chunk - 1) / chunk
+	}
+	parts := make([]verifyPartial, nChunks)
+	parallelForEach(seq(nChunks), workers, func(ci int) {
+		lo, hi := ci*chunk, (ci+1)*chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
 		}
-		if controlResolves[c.Domain] {
-			controlAnswers++
-		}
-		if !ok {
-			return
-		}
-		testAnswers++
-		if !controlResolves[c.Domain] {
-			newNames = append(newNames, c.FQDN)
+		p := &parts[ci]
+		for _, c := range candidates[lo:hi] {
+			ok, dropped := resolves(universe, c.FQDN, routes, cfg.MaxCNAME)
+			if dropped {
+				p.unrouted++
+			}
+			ctl := controlResolves[c.Domain]
+			if ctl {
+				p.controlAnswers++
+			}
+			if !ok {
+				continue
+			}
+			p.testAnswers++
+			if !ctl {
+				p.newNames = append(p.newNames, c.FQDN)
+			}
 		}
 	})
+	var newNames []string
+	for i := range parts {
+		res.TestAnswers += parts[i].testAnswers
+		res.ControlAnswers += parts[i].controlAnswers
+		res.UnroutedDiscarded += parts[i].unrouted
+		newNames = append(newNames, parts[i].newNames...)
+	}
 	sort.Strings(newNames)
-	res.TestAnswers = testAnswers
-	res.ControlAnswers = controlAnswers
-	res.UnroutedDiscarded = unrouted
 	res.NewFQDNs = newNames
 	return res
+}
+
+// seq returns [0, 1, ..., n-1], the index slice the parallel loops
+// iterate over.
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // resolves performs one massdns-style lookup: A record, CNAME chase,
