@@ -12,6 +12,8 @@ import (
 	"ctrise/internal/honeypot"
 	"ctrise/internal/merkle"
 	"ctrise/internal/psl"
+	"ctrise/internal/scanner"
+	"ctrise/internal/sct"
 	"ctrise/internal/stats"
 	"ctrise/internal/subenum"
 	"ctrise/internal/tlsmon"
@@ -90,43 +92,124 @@ func BenchmarkFigure1c(b *testing.B) {
 	}
 }
 
+// parallelismLevels names the worker bounds the generation-side
+// benchmarks run at: the forced-sequential baseline and the full
+// machine. The speedup between the two is the headline number of the
+// parallel replay engine.
+var parallelismLevels = []struct {
+	name string
+	p    int
+}{
+	{"p1", 1},
+	{"pmax", 0}, // 0 = GOMAXPROCS
+}
+
 // BenchmarkFigure2 regenerates the daily SCT-share series: a fresh
-// 13-month traffic replay through the passive monitor each iteration.
+// 13-month traffic replay through the passive monitor each iteration,
+// at sequential and full parallelism.
 func BenchmarkFigure2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		m := tlsmon.NewMonitor()
-		tlsmon.Generate(tlsmon.GenConfig{Seed: 2018, ConnsPerDay: 300}, m.Observe)
-		if pts := m.Figure2(); len(pts) < 300 {
-			b.Fatalf("points = %d", len(pts))
-		}
+	for _, lvl := range parallelismLevels {
+		b.Run(lvl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := tlsmon.NewMonitor()
+				tlsmon.Generate(tlsmon.GenConfig{Seed: 2018, ConnsPerDay: 300, Parallelism: lvl.p}, m.Observe)
+				if pts := m.Figure2(); len(pts) < 300 {
+					b.Fatalf("points = %d", len(pts))
+				}
+			}
+		})
 	}
 }
 
-// BenchmarkTable1 regenerates the top-15 log table from the same replay.
+// BenchmarkTable1 regenerates the top-15 log table, replay included (the
+// replay dominates; rendering the table from the counters is microseconds).
 func BenchmarkTable1(b *testing.B) {
-	m := tlsmon.NewMonitor()
-	tlsmon.Generate(tlsmon.GenConfig{Seed: 2018, ConnsPerDay: 300}, m.Observe)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := m.Table1(15); len(rows) != 15 {
-			b.Fatalf("rows = %d", len(rows))
-		}
+	for _, lvl := range parallelismLevels {
+		b.Run(lvl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := tlsmon.NewMonitor()
+				tlsmon.Generate(tlsmon.GenConfig{Seed: 2018, ConnsPerDay: 300, Parallelism: lvl.p}, m.Observe)
+				// 15 logs are modelled; the rarest (0.01% share) may not
+				// be drawn at this scale.
+				if rows := m.Table1(15); len(rows) < 12 {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+		})
 	}
 }
 
-// BenchmarkSection33 regenerates the active-scan statistics (population
-// build + sweep are the measured pipeline).
+// BenchmarkSection33 regenerates the active-scan pipeline — population
+// build, sweep, invalid-SCT detection — at sequential and full
+// parallelism over the shared world.
 func BenchmarkSection33(b *testing.B) {
 	s := suite(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r, err := s.Scan()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if r.Stats.TotalCerts == 0 {
-			b.Fatal("empty scan")
-		}
+	w, _, err := s.World()
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Clock.Set(ecosystem.Date(2018, 5, 18))
+	names := make(map[sct.LogID]string, len(w.Logs))
+	for name, l := range w.Logs {
+		names[l.LogID()] = name
+	}
+	for _, lvl := range parallelismLevels {
+		b.Run(lvl.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sites, err := scanner.BuildPopulation(w, scanner.PopConfig{
+					Seed: 2051, NumSites: 1600, Parallelism: lvl.p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := scanner.ScanParallel(sites, names, lvl.p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.TotalCerts == 0 {
+					b.Fatal("empty scan")
+				}
+				invalid, err := scanner.DetectInvalidSCTsParallel(sites, w.Verifiers(), lvl.p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(invalid) != 16 {
+					b.Fatalf("findings = %d", len(invalid))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTimelineReplay runs the heavy tail of the issuance timeline
+// (the March–May 2018 Let's Encrypt ramp) at sequential and full
+// parallelism. World construction is a fixed small cost per iteration;
+// the replay dominates.
+func BenchmarkTimelineReplay(b *testing.B) {
+	for _, lvl := range parallelismLevels {
+		b.Run(lvl.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := ecosystem.New(ecosystem.Config{
+					Seed:          2018,
+					Scale:         1e-4,
+					TimelineStart: ecosystem.Date(2018, 3, 1),
+					TimelineEnd:   ecosystem.Date(2018, 5, 1),
+					NumDomains:    8000,
+					Parallelism:   lvl.p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.RunTimeline(nil); err != nil {
+					b.Fatal(err)
+				}
+				if w.TotalEntries() == 0 {
+					b.Fatal("empty replay")
+				}
+			}
+		})
 	}
 }
 
@@ -155,7 +238,7 @@ func BenchmarkTable2(b *testing.B) {
 	list := psl.Default()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := subenum.RunCensus(h.Names, list)
+		c := subenum.RunCensusSet(h.NameSet, list, 0)
 		if top := c.Table2(20); len(top) == 0 || top[0].Key != "www" {
 			b.Fatal("census shape")
 		}

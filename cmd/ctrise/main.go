@@ -22,7 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "scale multiplier (1 = fast defaults)")
 	domains := flag.Int("domains", 20000, "registrable-domain population size")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,tab1,scan,sec4,tab3,tab4")
-	parallelism := flag.Int("parallelism", 0, "harvest/analysis worker bound (0 = GOMAXPROCS, 1 = sequential)")
+	parallelism := flag.Int("parallelism", 0, "worker bound for all pipelines, generation and analysis (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	want := map[string]bool{}

@@ -23,6 +23,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"ctrise/internal/certs"
@@ -101,11 +102,17 @@ type Config struct {
 	Validity time.Duration
 }
 
-// CA issues certificates.
+// CA issues certificates. Issue and Prepare are safe for concurrent use:
+// the mutable state (serial counter, stale-SCT predecessor) sits behind a
+// mutex held only for those bookkeeping reads and writes, so concurrent
+// issuances serialize on nothing but the counter — certificate
+// construction, encoding, and log submission all run outside the lock.
 type CA struct {
 	cfg           Config
 	issuerKeyHash [32]byte
-	serial        uint64
+
+	mu     sync.Mutex
+	serial uint64
 	// lastFinal supports FaultStaleSCT: the previously issued certificate
 	// whose SCTs a faulty re-issuance copies.
 	lastFinal *certs.Certificate
@@ -137,6 +144,12 @@ func (c *CA) Org() string { return c.cfg.Org }
 
 // IssuerKeyHash returns the hash RFC 6962 places in precert entries.
 func (c *CA) IssuerKeyHash() [32]byte { return c.issuerKeyHash }
+
+// LogsFinalCerts reports whether this CA also submits final
+// certificates (Config.LogFinalCerts). Pipelines that commit precert
+// submissions themselves instead of running the full Issue flow must
+// fall back to the sequential path for such CAs.
+func (c *CA) LogsFinalCerts() bool { return c.cfg.LogFinalCerts }
 
 // Request describes one certificate order.
 type Request struct {
@@ -170,18 +183,83 @@ type Issued struct {
 	Logs []string
 }
 
-// Issue runs the full RFC 6962 embedding flow for one order.
-func (c *CA) Issue(req Request) (*Issued, error) {
+// Prepared is a planned issuance: the certificates are built and the
+// precertificate TBS is encoded, but nothing has been submitted to a log
+// yet. The split lets the parallel timeline replay construct certificates
+// on worker goroutines and commit the log submissions separately, in a
+// deterministic order.
+type Prepared struct {
+	ca      *CA
+	req     Request
+	base    *certs.Certificate
+	precert *certs.Certificate
+	tbs     []byte
+	logs    []LogSubmitter
+	// staleSCTs captures the FaultStaleSCT predecessor's SCTs at Prepare
+	// time (the same value the submission-time read would have seen in a
+	// sequential run).
+	staleSCTs []*sct.SignedCertificateTimestamp
+}
+
+// TBS returns the encoded precertificate TBS the logs sign over.
+func (p *Prepared) TBS() []byte { return p.tbs }
+
+// IssuerKeyHash returns the hash RFC 6962 pairs with the TBS.
+func (p *Prepared) IssuerKeyHash() [32]byte { return p.ca.issuerKeyHash }
+
+// ReserveSerials atomically reserves n consecutive serial numbers,
+// returning the first. Planners that fan certificate construction out
+// over workers reserve a block up front and assign serials by plan
+// index, keeping certificate bytes independent of worker scheduling.
+func (c *CA) ReserveSerials(n uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := c.serial + 1
+	c.serial += n
+	return first
+}
+
+// Prepare plans one order: it draws the next serial and builds the
+// certificates without submitting anything. Invalid orders are rejected
+// before a serial is consumed, so error paths leave the serial stream
+// untouched (as the pre-split Issue did).
+func (c *CA) Prepare(req Request) (*Prepared, error) {
 	if len(req.Names) == 0 {
 		return nil, ErrNoNames
 	}
-	if req.Fault == FaultStaleSCT && c.lastFinal == nil {
-		return nil, ErrNoReplay
+	if req.Fault == FaultStaleSCT {
+		c.mu.Lock()
+		prev := c.lastFinal
+		c.mu.Unlock()
+		if prev == nil {
+			return nil, ErrNoReplay
+		}
+	}
+	return c.PrepareSerial(req, c.ReserveSerials(1))
+}
+
+// PrepareSerial is Prepare with a caller-assigned serial number, which
+// must come from ReserveSerials.
+func (c *CA) PrepareSerial(req Request, serial uint64) (*Prepared, error) {
+	if len(req.Names) == 0 {
+		return nil, ErrNoNames
+	}
+	var stale []*sct.SignedCertificateTimestamp
+	if req.Fault == FaultStaleSCT {
+		c.mu.Lock()
+		prev := c.lastFinal
+		c.mu.Unlock()
+		if prev == nil {
+			return nil, ErrNoReplay
+		}
+		var err error
+		if stale, err = prev.SCTs(); err != nil {
+			return nil, fmt.Errorf("ca: stale-SCT fault needs an embedded predecessor: %w", err)
+		}
 	}
 	now := c.cfg.Clock()
-	c.serial++
 	base := &certs.Certificate{
-		SerialNumber: c.serial,
+		SerialNumber: serial,
 		Issuer:       certs.Name{CommonName: c.cfg.Name, Organization: c.cfg.Org},
 		Subject:      certs.Name{CommonName: req.Names[0]},
 		DNSNames:     append([]string(nil), req.Names...),
@@ -193,8 +271,6 @@ func (c *CA) Issue(req Request) (*Issued, error) {
 			{OID: "2.5.29.37", Value: []byte{0x06, 0x08, 0x2b, 0x06, 0x01, 0x05, 0x05, 0x07, 0x03, 0x01}}, // extKeyUsage serverAuth
 		},
 	}
-
-	// 1. Build and log the precertificate.
 	precert := base.Clone()
 	precert.AddPoison()
 	tbs, err := base.TBSForSCT()
@@ -205,52 +281,70 @@ func (c *CA) Issue(req Request) (*Issued, error) {
 	if req.Logs != nil {
 		logs = req.Logs
 	}
-	issued := &Issued{Precert: precert}
-	for _, l := range logs {
-		s, err := l.AddPreChain(c.issuerKeyHash, tbs)
+	return &Prepared{ca: c, req: req, base: base, precert: precert, tbs: tbs, logs: logs, staleSCTs: stale}, nil
+}
+
+// Submit logs the precertificate to every configured log in order and
+// finalizes — the submission half of Issue.
+func (p *Prepared) Submit() (*Issued, error) {
+	issued := &Issued{Precert: p.precert}
+	for _, l := range p.logs {
+		s, err := l.AddPreChain(p.ca.issuerKeyHash, p.tbs)
 		if err != nil {
 			return nil, fmt.Errorf("ca: logging precert to %s: %w", l.Name(), err)
 		}
 		issued.SCTs = append(issued.SCTs, s)
 		issued.Logs = append(issued.Logs, l.Name())
 	}
+	return p.finalize(issued)
+}
 
-	// 2. Build the final certificate.
-	final := base.Clone()
+// finalize builds the final certificate from the collected SCTs and
+// optionally logs it.
+func (p *Prepared) finalize(issued *Issued) (*Issued, error) {
+	c := p.ca
+	final := p.base.Clone()
 	scts := issued.SCTs
-	if req.Fault == FaultStaleSCT {
+	if p.req.Fault == FaultStaleSCT {
 		// Re-issuance embedding the previous certificate's SCTs.
-		prev, err := c.lastFinal.SCTs()
-		if err != nil {
-			return nil, fmt.Errorf("ca: stale-SCT fault needs an embedded predecessor: %w", err)
-		}
-		scts = prev
+		scts = p.staleSCTs
 	}
-	if req.EmbedSCTs {
+	if p.req.EmbedSCTs {
 		if err := final.SetSCTs(scts); err != nil {
 			return nil, err
 		}
 	}
-	applyFault(final, req.Fault)
+	applyFault(final, p.req.Fault)
 	issued.Final = final
 
-	// 3. Optionally log the final certificate as well.
 	if c.cfg.LogFinalCerts {
 		enc, err := final.Encode()
 		if err != nil {
 			return nil, err
 		}
-		for _, l := range logs {
+		for _, l := range p.logs {
 			if _, err := l.AddChain(enc); err != nil {
 				return nil, fmt.Errorf("ca: logging final cert to %s: %w", l.Name(), err)
 			}
 		}
 	}
 
-	if req.EmbedSCTs {
+	if p.req.EmbedSCTs {
+		c.mu.Lock()
 		c.lastFinal = final
+		c.mu.Unlock()
 	}
 	return issued, nil
+}
+
+// Issue runs the full RFC 6962 embedding flow for one order: plan,
+// submit to every log, embed the SCTs.
+func (c *CA) Issue(req Request) (*Issued, error) {
+	p, err := c.Prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	return p.Submit()
 }
 
 // applyFault mutates the final certificate after SCT issuance, so the

@@ -11,6 +11,14 @@
 // workers (GOMAXPROCS by default), dedupes FQDNs in a sharded set, and
 // merges the workers' private partial aggregates deterministically —
 // harvest output is identical at any parallelism setting.
+//
+// The generation side fans out the same way on the deterministic
+// fan-out layer in partition.go (index-range chunking, splitmix64
+// seed-splitting, ordered merges): RunTimeline plans and constructs
+// each day's certificates on workers and commits submissions per log in
+// sequential order, so log trees are byte-identical at any worker
+// count. The layer is shared by the tlsmon traffic replay and the
+// scanner sweep.
 package ecosystem
 
 import (

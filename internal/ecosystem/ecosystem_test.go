@@ -257,7 +257,7 @@ func TestTimelineShapes(t *testing.T) {
 	if leLogs.Len() > 5 {
 		t.Fatalf("LE spread over %d logs, want few", leLogs.Len())
 	}
-	if h.TotalPrecerts == 0 || len(h.Names) == 0 {
+	if h.TotalPrecerts == 0 || h.NameSet.Len() == 0 {
 		t.Fatal("empty harvest")
 	}
 }

@@ -26,11 +26,26 @@ type Harvest struct {
 	TotalPrecerts uint64
 	// TotalFinal counts final-certificate entries.
 	TotalFinal uint64
-	// Names are all FQDNs extracted from certificate CN and SAN fields,
-	// deduplicated — the Section 4 input corpus.
-	Names map[string]struct{}
+	// NameSet holds all FQDNs extracted from certificate CN and SAN
+	// fields, deduplicated in the crawl workers' sharded set — the
+	// Section 4 input corpus. Consumers that fan out (the census) read
+	// the shards in place; use Names for a plain map view.
+	NameSet *stats.StringSet
 	// HeatmapFrom/To bound the Figure 1c window.
 	HeatmapFrom, HeatmapTo time.Time
+
+	namesOnce sync.Once
+	names     map[string]struct{}
+}
+
+// Names returns the deduplicated FQDN corpus as a plain map,
+// materializing it from NameSet on first use. Prefer iterating NameSet
+// (ForEach/ForEachShard) where a map is not required — the corpus is the
+// largest artifact of a harvest, and the sharded set is the zero-copy
+// handoff into the census.
+func (h *Harvest) Names() map[string]struct{} {
+	h.namesOnce.Do(func() { h.names = h.NameSet.Snapshot() })
+	return h.names
 }
 
 // harvestChunk is the entry-range granularity of one work unit. Small
@@ -226,7 +241,7 @@ func (w *World) HarvestLogsParallel(heatFrom, heatTo time.Time, parallelism int)
 	for _, p := range partials {
 		p.mergeInto(h)
 	}
-	h.Names = names.Snapshot()
+	h.NameSet = names
 	return h, nil
 }
 

@@ -3,8 +3,8 @@ package ecosystem
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -31,9 +31,10 @@ type Config struct {
 	// (submissions/second of virtual time) to reproduce the overload
 	// incident.
 	NimbusCapacity float64
-	// Parallelism bounds the worker count of the harvest-and-analysis
-	// data plane (HarvestLogs). 0 means GOMAXPROCS; 1 forces the
-	// sequential path. Output is identical at every setting.
+	// Parallelism bounds the worker count of both data planes: the
+	// issuance replay (RunTimeline) and the harvest-and-analysis crawl
+	// (HarvestLogs). 0 means GOMAXPROCS; 1 forces the sequential paths.
+	// Output is identical at every setting.
 	Parallelism int
 }
 
@@ -137,58 +138,72 @@ func (w *World) RandomDomain(rng *rand.Rand) Domain {
 
 // DomainRNG returns a rand.Rand seeded deterministically by the world
 // seed and the domain name, so per-domain properties are stable across
-// issuances.
+// issuances. It is called once per issuance on the replay's hottest
+// path, hence the O(1)-seeded source.
 func (w *World) DomainRNG(domain string) *rand.Rand {
-	h := fnv.New64a()
-	h.Write([]byte(domain))
-	return rand.New(rand.NewSource(w.Cfg.Seed ^ int64(h.Sum64())))
+	return NewRand(DeriveSeed(w.Cfg.Seed, SaltString(domain)))
+}
+
+// minParallelDayIssuances is the day size below which the replay commits
+// inline: fanning out a handful of issuances costs more in goroutine
+// startup than it saves. The pre-2018 timeline is almost entirely such
+// days; the March–May 2018 ramp (the bulk of the total work) is far
+// above it.
+const minParallelDayIssuances = 16
+
+// issuancePlan is one planned certificate order of a timeline day: the
+// dayRng draws are done, nothing is built or submitted yet.
+type issuancePlan struct {
+	names  []string
+	policy []string
 }
 
 // RunTimeline replays the issuance timeline day by day: every CA issues
 // at its model's (scaled) rate through its log policy, names drawn from
 // the domain population under the Table 2 label model. STHs are published
 // at the end of each day. onDay, if non-nil, observes each completed day.
+//
+// Within each day the replay fans out over Config.Parallelism workers
+// (GOMAXPROCS when 0) in two phases: certificate construction runs on
+// workers with serial numbers reserved per CA up front, then the log
+// submissions commit with one worker per log, each log receiving its
+// entries in the order the sequential path would have produced. Because
+// every per-(day, CA) RNG is already derived from the seed and the
+// day/CA identity, log contents — entry order, bytes, and tree hashes —
+// are identical at every parallelism setting.
+//
+// The Nimbus overload replay (Config.NimbusCapacity > 0) couples
+// submissions across logs — a rejected submission aborts the rest of its
+// issuance — so it always runs the sequential in-line path.
 func (w *World) RunTimeline(onDay func(day time.Time)) error {
+	parallelism := w.Cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if w.Cfg.NimbusCapacity > 0 {
+		parallelism = 1
+	}
+	// The grouped commit only submits precertificates; a CA that also
+	// logs final certificates needs the full per-issuance Issue flow to
+	// stay equivalent, so its presence forces the sequential path too.
+	// (World-built CAs never set it; this guards externally mutated
+	// worlds.)
+	for _, c := range w.CAs {
+		if c.LogsFinalCerts() {
+			parallelism = 1
+			break
+		}
+	}
 	day := w.Cfg.TimelineStart
 	for day.Before(w.Cfg.TimelineEnd) {
 		// Noon, so all issuance timestamps fall on the correct day.
 		w.Clock.Set(day.Add(12 * time.Hour))
-		for _, spec := range w.Specs {
-			// Day- and CA-seeded rng so per-day burst draws are stable
-			// regardless of other CAs' consumption of randomness.
-			dayRng := rand.New(rand.NewSource(w.Cfg.Seed ^ day.Unix() ^ int64(len(spec.Org))))
-			rate := spec.Model.Rate(day, dayRng) * w.Cfg.Scale
-			n := int(rate)
-			if dayRng.Float64() < rate-float64(n) {
-				n++
-			}
-			caInst := w.CAs[spec.Org]
-			for i := 0; i < n; i++ {
-				domain := w.RandomDomain(dayRng)
-				// A domain's certified name set is a stable property:
-				// re-issuances for the same domain cover the same names,
-				// so the deduplicated corpus keeps the Table 2 label
-				// ratios instead of saturating toward the union.
-				names := NamesForDomain(w.DomainRNG(domain.Name), domain.Name, domain.Suffix)
-				_, err := caInst.Issue(ca.Request{
-					Names:     names,
-					EmbedSCTs: !day.Before(Date(2018, 1, 1)),
-					Logs:      w.submitters(spec.Policy(dayRng)),
-				})
-				if err != nil {
-					// Overloaded logs drop the submission; the CA retries
-					// nothing, which is what the Nimbus incident looked
-					// like from the outside. All other errors are fatal.
-					if errors.Is(err, ctlog.ErrOverloaded) {
-						continue
-					}
-					return fmt.Errorf("ecosystem: %s on %s: %w", spec.Org, day.Format("2006-01-02"), err)
-				}
-			}
+		if err := w.runTimelineDay(day, parallelism); err != nil {
+			return err
 		}
 		w.Clock.Set(day.Add(24 * time.Hour))
-		for _, l := range w.Logs {
-			if _, err := l.PublishSTH(); err != nil {
+		for _, name := range w.LogNames {
+			if _, err := w.Logs[name].PublishSTH(); err != nil {
 				return err
 			}
 		}
@@ -196,6 +211,158 @@ func (w *World) RunTimeline(onDay func(day time.Time)) error {
 			onDay(day)
 		}
 		day = day.AddDate(0, 0, 1)
+	}
+	return nil
+}
+
+// planTimelineDay performs every dayRng draw of one (day, CA) pair,
+// exactly in the order the sequential replay consumes them.
+func (w *World) planTimelineDay(day time.Time, spec CASpec) []issuancePlan {
+	// Day- and CA-seeded rng so per-day burst draws are stable
+	// regardless of other CAs' consumption of randomness (and of which
+	// worker plans the pair).
+	dayRng := NewRand(DeriveSeed(w.Cfg.Seed, uint64(day.Unix()), SaltString(spec.Org)))
+	rate := spec.Model.Rate(day, dayRng) * w.Cfg.Scale
+	n := int(rate)
+	if dayRng.Float64() < rate-float64(n) {
+		n++
+	}
+	plans := make([]issuancePlan, n)
+	for i := 0; i < n; i++ {
+		domain := w.RandomDomain(dayRng)
+		// A domain's certified name set is a stable property:
+		// re-issuances for the same domain cover the same names,
+		// so the deduplicated corpus keeps the Table 2 label
+		// ratios instead of saturating toward the union.
+		plans[i] = issuancePlan{
+			names:  NamesForDomain(w.DomainRNG(domain.Name), domain.Name, domain.Suffix),
+			policy: spec.Policy(dayRng),
+		}
+	}
+	return plans
+}
+
+// runTimelineDay executes one day's issuances. The clock is already at
+// noon of the day.
+func (w *World) runTimelineDay(day time.Time, workers int) error {
+	// Phase 0: draws. Each (day, CA) stream is private, so CAs plan
+	// concurrently.
+	plans := make([][]issuancePlan, len(w.Specs))
+	ForEach(len(w.Specs), workers, func(si int) {
+		plans[si] = w.planTimelineDay(day, w.Specs[si])
+	})
+	total := 0
+	for _, l := range plans {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	embed := !day.Before(Date(2018, 1, 1))
+
+	if workers == 1 || total < minParallelDayIssuances {
+		// In-line path: issue in (CA, order) sequence, exactly the
+		// pre-parallel replay. This is also the only path that honours
+		// the overload coupling: an ErrOverloaded submission drops the
+		// rest of its issuance (the CA retries nothing, which is what
+		// the Nimbus incident looked like from the outside); all other
+		// errors are fatal.
+		for si, spec := range w.Specs {
+			caInst := w.CAs[spec.Org]
+			for _, pl := range plans[si] {
+				_, err := caInst.Issue(ca.Request{
+					Names:     pl.names,
+					EmbedSCTs: embed,
+					Logs:      w.submitters(pl.policy),
+				})
+				if err != nil {
+					if errors.Is(err, ctlog.ErrOverloaded) {
+						continue
+					}
+					return fmt.Errorf("ecosystem: %s on %s: %w", spec.Org, day.Format("2006-01-02"), err)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: construction. Serial blocks are reserved per CA in spec
+	// order on this goroutine, so the i-th issuance of a CA's day gets
+	// the same serial the sequential path would have drawn; workers then
+	// build certificates for arbitrary plan indices without affecting
+	// the bytes. (The parallel path skips final-certificate assembly —
+	// the timeline only keeps what reaches the logs.)
+	type flatRef struct{ si, i int }
+	flat := make([]flatRef, 0, total)
+	bases := make([]uint64, len(w.Specs))
+	preps := make([][]*ca.Prepared, len(w.Specs))
+	for si := range w.Specs {
+		n := len(plans[si])
+		if n > 0 {
+			bases[si] = w.CAs[w.Specs[si].Org].ReserveSerials(uint64(n))
+		}
+		preps[si] = make([]*ca.Prepared, n)
+		for i := 0; i < n; i++ {
+			flat = append(flat, flatRef{si, i})
+		}
+	}
+	var prepErr FirstError
+	ForEach(len(flat), workers, func(k int) {
+		ref := flat[k]
+		pl := plans[ref.si][ref.i]
+		caInst := w.CAs[w.Specs[ref.si].Org]
+		p, err := caInst.PrepareSerial(ca.Request{Names: pl.names, EmbedSCTs: embed}, bases[ref.si]+uint64(ref.i))
+		if err != nil {
+			prepErr.Record(k, err)
+			return
+		}
+		preps[ref.si][ref.i] = p
+	})
+	if err := prepErr.Err(); err != nil {
+		return fmt.Errorf("ecosystem: planning %s: %w", day.Format("2006-01-02"), err)
+	}
+
+	// Phase 2: commit, one worker per log. Grouping iterates specs,
+	// issuances, and policy entries in plan order, so each log's
+	// submission sequence — and therefore its Merkle tree — matches the
+	// sequential path entry for entry.
+	perLog := make(map[string][]*ca.Prepared)
+	for si := range w.Specs {
+		for i, p := range preps[si] {
+			for _, logName := range plans[si][i].policy {
+				if _, ok := w.Logs[logName]; ok {
+					perLog[logName] = append(perLog[logName], p)
+				}
+			}
+		}
+	}
+	touched := make([]string, 0, len(perLog))
+	for _, name := range w.LogNames {
+		if len(perLog[name]) > 0 {
+			touched = append(touched, name)
+		}
+	}
+	var commitErr FirstError
+	ForEach(len(touched), workers, func(li int) {
+		l := w.Logs[touched[li]]
+		for _, p := range perLog[touched[li]] {
+			if _, err := l.AddPreChain(p.IssuerKeyHash(), p.TBS()); err != nil {
+				// Overload cannot be replicated here: the sequential path
+				// drops the *rest of the issuance* across logs, which a
+				// per-log commit cannot see. Config.NimbusCapacity gates
+				// to the sequential path already; a capacity configured
+				// on a log by other means must do the same, so fail
+				// loudly instead of silently diverging.
+				if errors.Is(err, ctlog.ErrOverloaded) {
+					err = fmt.Errorf("%s is capacity-limited; the parallel timeline cannot replay overload drops — run with Parallelism=1: %w", touched[li], err)
+				}
+				commitErr.Record(li, err)
+				return
+			}
+		}
+	})
+	if err := commitErr.Err(); err != nil {
+		return fmt.Errorf("ecosystem: committing %s: %w", day.Format("2006-01-02"), err)
 	}
 	return nil
 }

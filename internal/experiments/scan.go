@@ -36,8 +36,9 @@ func (s *Suite) Scan() (*ScanResult, error) {
 	w.Clock.Set(ecosystem.Date(2018, 5, 18))
 	numSites := s.opts.NumDomains / 5
 	sites, err := scanner.BuildPopulation(w, scanner.PopConfig{
-		Seed:     s.opts.Seed + 33,
-		NumSites: numSites,
+		Seed:        s.opts.Seed + 33,
+		NumSites:    numSites,
+		Parallelism: s.opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -46,11 +47,11 @@ func (s *Suite) Scan() (*ScanResult, error) {
 	for name, l := range w.Logs {
 		names[l.LogID()] = name
 	}
-	st, err := scanner.Scan(sites, names)
+	st, err := scanner.ScanParallel(sites, names, s.opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	invalid, err := scanner.DetectInvalidSCTs(sites, w.Verifiers())
+	invalid, err := scanner.DetectInvalidSCTsParallel(sites, w.Verifiers(), s.opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +62,9 @@ func (s *Suite) Scan() (*ScanResult, error) {
 		NumSites: len(sites),
 	}
 
-	// Chrome CT policy compliance across the population.
+	// Chrome CT policy compliance across the population, swept in site
+	// chunks with additive per-chunk tallies (signature verification per
+	// SCT makes this the most CPU-bound stage of the scan).
 	logSet := policy.LogSet{}
 	for _, l := range w.Logs {
 		logSet[l.LogID()] = policy.LogInfo{
@@ -71,18 +74,33 @@ func (s *Suite) Scan() (*ScanResult, error) {
 			Verifier:       l.Verifier(),
 		}
 	}
-	for _, site := range sites {
-		if !site.Cert.HasSCTList() {
-			continue
+	const policyChunk = 512
+	chunks := ecosystem.Ranges(len(sites), policyChunk)
+	checked := make([]int, len(chunks))
+	compliant := make([]int, len(chunks))
+	var policyErr ecosystem.FirstError
+	ecosystem.ForEach(len(chunks), s.opts.Parallelism, func(ci int) {
+		for _, site := range sites[chunks[ci].Lo:chunks[ci].Hi] {
+			if !site.Cert.HasSCTList() {
+				continue
+			}
+			pr, err := policy.CheckEmbedded(site.Cert, site.IssuerKeyHash, logSet)
+			if err != nil {
+				policyErr.Record(ci, err)
+				return
+			}
+			checked[ci]++
+			if pr.Compliant {
+				compliant[ci]++
+			}
 		}
-		pr, err := policy.CheckEmbedded(site.Cert, site.IssuerKeyHash, logSet)
-		if err != nil {
-			return nil, err
-		}
-		res.PolicyChecked++
-		if pr.Compliant {
-			res.PolicyCompliant++
-		}
+	})
+	if err := policyErr.Err(); err != nil {
+		return nil, err
+	}
+	for ci := range chunks {
+		res.PolicyChecked += checked[ci]
+		res.PolicyCompliant += compliant[ci]
 	}
 	return res, nil
 }

@@ -21,10 +21,12 @@ type Options struct {
 	Scale float64
 	// NumDomains overrides the registrable-domain population size.
 	NumDomains int
-	// Parallelism bounds the worker fan-out of the harvest and analysis
-	// pipelines (log crawl, census, candidate construction, massdns-style
-	// verification). 0 means GOMAXPROCS; 1 forces the sequential path.
-	// Results are identical at every setting.
+	// Parallelism bounds the worker fan-out of every pipeline — the
+	// generation side (timeline issuance replay, Figure 2 traffic
+	// replay, scan population build and sweep) and the harvest-and-
+	// analysis side (log crawl, census, candidate construction,
+	// massdns-style verification). 0 means GOMAXPROCS; 1 forces the
+	// sequential paths. Results are identical at every setting.
 	Parallelism int
 }
 

@@ -24,10 +24,10 @@ func (s *Suite) Table3() (*Table3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	corpus := make(map[string]struct{}, len(h.Names))
-	for n := range h.Names {
-		corpus[n] = struct{}{}
-	}
+	// The detector corpus is mutated (phishing names are injected), so it
+	// is built as a fresh map straight off the harvest's sharded name set.
+	corpus := make(map[string]struct{}, h.NameSet.Len())
+	h.NameSet.ForEach(func(n string) { corpus[n] = struct{}{} })
 	truth := phish.Generate(phish.GenConfig{Seed: s.opts.Seed + 55, Scale: 0.01 * s.opts.Scale}, corpus)
 	det := &phish.Detector{
 		Targets: append(phish.DefaultTargets(), phish.GovTarget()),

@@ -16,12 +16,16 @@ type TrafficResult struct {
 }
 
 // Traffic runs the 13-month passive measurement: the generator replays
-// the UCB-uplink workload shape into the Bro-like monitor.
+// the UCB-uplink workload shape into the Bro-like monitor. Generation
+// fans out over Options.Parallelism workers; the ordered merge feeds the
+// monitor on this goroutine, so the stream and the result are identical
+// at every setting.
 func (s *Suite) Traffic() *TrafficResult {
 	m := tlsmon.NewMonitor()
 	tlsmon.Generate(tlsmon.GenConfig{
 		Seed:        s.opts.Seed,
 		ConnsPerDay: int(680 * s.opts.Scale),
+		Parallelism: s.opts.Parallelism,
 	}, m.Observe)
 	return &TrafficResult{
 		Totals:  m.Totals(),

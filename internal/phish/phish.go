@@ -171,7 +171,10 @@ func (d *Detector) Scan(names map[string]struct{}) *Report {
 				r.SuffixPerService[f.Service] = sc
 			}
 			sc.Inc(f.Suffix)
-			if _, ok := r.Examples[f.Service]; !ok {
+			// Keep the lexicographically smallest finding as the example:
+			// "first seen" would follow Go's randomized map iteration
+			// order and change from run to run.
+			if cur, ok := r.Examples[f.Service]; !ok || f.FQDN < cur {
 				r.Examples[f.Service] = f.FQDN
 			}
 			r.Total++

@@ -38,9 +38,15 @@ type Site struct {
 
 // PopConfig parameterizes the population builder.
 type PopConfig struct {
+	// Seed drives all randomness. Every site derives a private RNG from
+	// (Seed, site index) by seed-splitting, so the population's
+	// statistics are identical at every parallelism setting.
 	Seed int64
 	// NumSites defaults to the world's domain count.
 	NumSites int
+	// Parallelism bounds the builder's worker fan-out: 0 means
+	// GOMAXPROCS, 1 forces the sequential path.
+	Parallelism int
 	// SitesPerIP is the TLS-SNI multiplexing factor (the paper observes
 	// ≈12 certificates per IP). Default 12.
 	SitesPerIP int
@@ -100,20 +106,34 @@ func drawCA(rng *rand.Rand) string {
 	return ecosystem.CAOther
 }
 
+// Seed-split salts naming the scanner's independent random streams.
+const (
+	saltSite   = 0x73697465 // "site"
+	saltFaults = 0x666c74   // "flt"
+)
+
 // BuildPopulation issues one certificate per site through the world's
 // CAs and log policies and assigns IPs with SNI multiplexing. It also
 // injects the configured misissued certificates through fault-mode CAs
 // named after the paper's four cases.
+//
+// Sites are built by up to PopConfig.Parallelism workers, each site
+// drawing from its own seed-derived RNG, so the population — site order,
+// domains, CA mix, embed flags, SCT channels — is independent of worker
+// count and scheduling. (Certificate serial numbers are drawn from the
+// shared CAs' atomic counters and are the one schedule-dependent detail;
+// nothing downstream observes them.)
 func BuildPopulation(w *ecosystem.World, cfg PopConfig) ([]*Site, error) {
 	cfg.setDefaults(w)
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	specByOrg := make(map[string]ecosystem.CASpec, len(w.Specs))
 	for _, s := range w.Specs {
 		specByOrg[s.Org] = s
 	}
 
-	sites := make([]*Site, 0, cfg.NumSites)
-	for i := 0; i < cfg.NumSites; i++ {
+	sites := make([]*Site, cfg.NumSites)
+	var buildErr ecosystem.FirstError
+	ecosystem.ForEach(cfg.NumSites, cfg.Parallelism, func(i int) {
+		rng := ecosystem.NewRand(ecosystem.DeriveSeed(cfg.Seed, saltSite, uint64(i)))
 		domain := w.Domains[i%len(w.Domains)]
 		org := drawCA(rng)
 		spec := specByOrg[org]
@@ -127,7 +147,8 @@ func BuildPopulation(w *ecosystem.World, cfg PopConfig) ([]*Site, error) {
 			Logs:      submitters(w, spec.Policy(rng)),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("scanner: issuing for %s: %w", domain.Name, err)
+			buildErr.Record(i, fmt.Errorf("scanner: issuing for %s: %w", domain.Name, err))
+			return
 		}
 		site := &Site{
 			Domain:        domain.Name,
@@ -145,10 +166,13 @@ func BuildPopulation(w *ecosystem.World, cfg PopConfig) ([]*Site, error) {
 				site.OCSPSCT = true
 			}
 		}
-		sites = append(sites, site)
+		sites[i] = site
+	})
+	if err := buildErr.Err(); err != nil {
+		return nil, err
 	}
 
-	faulty, err := injectFaults(w, cfg, rng)
+	faulty, err := injectFaults(w, cfg, ecosystem.NewRand(ecosystem.DeriveSeed(cfg.Seed, saltFaults)))
 	if err != nil {
 		return nil, err
 	}
@@ -253,51 +277,117 @@ func (s *ScanStats) LogPercent(log string) float64 {
 	return stats.Percent(s.CertsByLog.Get(log), s.WithEmbeddedSCT)
 }
 
+// Merge folds another ScanStats into s — the bulk reduction step of the
+// parallel sweep. Every merged field is additive, so merge order does
+// not affect the result. The IP-level counters (TotalIPs,
+// IPsServingSCT) are deliberately not summed: they derive from dedup
+// sets that only the caller holds, and summing them would double-count
+// IPs shared between the two sides.
+func (s *ScanStats) Merge(o *ScanStats) {
+	s.TotalCerts += o.TotalCerts
+	s.WithEmbeddedSCT += o.WithEmbeddedSCT
+	s.TLSExtCerts += o.TLSExtCerts
+	s.OCSPCerts += o.OCSPCerts
+	s.CertsByLog.Merge(o.CertsByLog)
+}
+
+// scanChunk is the number of sites one sweep worker processes per work
+// unit.
+const scanChunk = 512
+
+// scanPartial is one worker chunk's private, lock-free aggregate.
+type scanPartial struct {
+	stats      ScanStats
+	ips        map[string]bool
+	ipsWithSCT map[string]bool
+}
+
 // Scan walks the population like the zmap+TLS scanner pipeline: one
 // certificate grab per site, deduplicated IP accounting, per-log
 // attribution by decoding each certificate's SCT list. logNames maps log
-// IDs to display names.
+// IDs to display names. It is ScanParallel at GOMAXPROCS.
 func Scan(sites []*Site, logNames map[sct.LogID]string) (*ScanStats, error) {
-	st := &ScanStats{CertsByLog: stats.NewCounter()}
+	return ScanParallel(sites, logNames, 0)
+}
+
+// ScanParallel is Scan with an explicit worker bound (0 means GOMAXPROCS,
+// 1 runs the sweep inline). Sites are chunked; workers build private
+// partial statistics and IP sets, and the additive merge makes the
+// result identical at every parallelism setting.
+func ScanParallel(sites []*Site, logNames map[sct.LogID]string, parallelism int) (*ScanStats, error) {
+	chunks := ecosystem.Ranges(len(sites), scanChunk)
+	partials := make([]*scanPartial, len(chunks))
+	var scanErr ecosystem.FirstError
+	ecosystem.ForEach(len(chunks), parallelism, func(ci int) {
+		p := &scanPartial{
+			stats:      ScanStats{CertsByLog: stats.NewCounter()},
+			ips:        make(map[string]bool),
+			ipsWithSCT: make(map[string]bool),
+		}
+		partials[ci] = p
+		// Consecutive sites share IPs (the SNI multiplexing assignment),
+		// so memoize the formatted key instead of calling IP.String()
+		// once per site.
+		lastIP, lastKey := net.IP(nil), ""
+		for _, site := range sites[chunks[ci].Lo:chunks[ci].Hi] {
+			st := &p.stats
+			st.TotalCerts++
+			if !site.IP.Equal(lastIP) {
+				lastIP, lastKey = site.IP, site.IP.String()
+			}
+			ipKey := lastKey
+			p.ips[ipKey] = true
+			served := site.TLSSCT || site.OCSPSCT
+			if site.TLSSCT {
+				st.TLSExtCerts++
+			}
+			if site.OCSPSCT {
+				st.OCSPCerts++
+			}
+			if site.Cert.HasSCTList() {
+				st.WithEmbeddedSCT++
+				served = true
+				scts, err := site.Cert.SCTs()
+				if err != nil {
+					scanErr.Record(ci, fmt.Errorf("scanner: SCTs of %s: %w", site.Domain, err))
+					return
+				}
+				seen := make(map[string]bool, len(scts))
+				for _, s := range scts {
+					name, ok := logNames[s.LogID]
+					if !ok {
+						name = s.LogID.String()[:12]
+					}
+					if !seen[name] {
+						st.CertsByLog.Inc(name)
+						seen[name] = true
+					}
+				}
+			}
+			if served {
+				p.ipsWithSCT[ipKey] = true
+			}
+		}
+	})
+	if err := scanErr.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &ScanStats{CertsByLog: stats.NewCounter()}
 	ips := make(map[string]bool)
 	ipsWithSCT := make(map[string]bool)
-	for _, site := range sites {
-		st.TotalCerts++
-		ipKey := site.IP.String()
-		ips[ipKey] = true
-		served := site.TLSSCT || site.OCSPSCT
-		if site.TLSSCT {
-			st.TLSExtCerts++
+	for _, p := range partials {
+		out.Merge(&p.stats)
+		for k := range p.ips {
+			ips[k] = true
 		}
-		if site.OCSPSCT {
-			st.OCSPCerts++
-		}
-		if site.Cert.HasSCTList() {
-			st.WithEmbeddedSCT++
-			served = true
-			scts, err := site.Cert.SCTs()
-			if err != nil {
-				return nil, fmt.Errorf("scanner: SCTs of %s: %w", site.Domain, err)
-			}
-			seen := make(map[string]bool, len(scts))
-			for _, s := range scts {
-				name, ok := logNames[s.LogID]
-				if !ok {
-					name = s.LogID.String()[:12]
-				}
-				if !seen[name] {
-					st.CertsByLog.Inc(name)
-					seen[name] = true
-				}
-			}
-		}
-		if served {
-			ipsWithSCT[ipKey] = true
+		for k := range p.ipsWithSCT {
+			ipsWithSCT[k] = true
 		}
 	}
-	st.TotalIPs = uint64(len(ips))
-	st.IPsServingSCT = uint64(len(ipsWithSCT))
-	return st, nil
+	out.TotalIPs = uint64(len(ips))
+	out.IPsServingSCT = uint64(len(ipsWithSCT))
+	return out, nil
 }
 
 // InvalidCert is one Section 3.4 finding.
@@ -309,20 +399,41 @@ type InvalidCert struct {
 
 // DetectInvalidSCTs runs the embedded-SCT validator over every site
 // certificate, returning the misissued ones grouped like Section 3.4
-// reports them.
+// reports them. It is DetectInvalidSCTsParallel at GOMAXPROCS.
 func DetectInvalidSCTs(sites []*Site, verifiers map[sct.LogID]sct.SCTVerifier) ([]InvalidCert, error) {
+	return DetectInvalidSCTsParallel(sites, verifiers, 0)
+}
+
+// DetectInvalidSCTsParallel is DetectInvalidSCTs with an explicit worker
+// bound (0 means GOMAXPROCS, 1 runs inline). Site chunks are validated
+// concurrently into private finding lists which concatenate in chunk
+// order, so findings come back in site order at every parallelism
+// setting.
+func DetectInvalidSCTsParallel(sites []*Site, verifiers map[sct.LogID]sct.SCTVerifier, parallelism int) ([]InvalidCert, error) {
+	chunks := ecosystem.Ranges(len(sites), scanChunk)
+	found := make([][]InvalidCert, len(chunks))
+	var detectErr ecosystem.FirstError
+	ecosystem.ForEach(len(chunks), parallelism, func(ci int) {
+		for _, site := range sites[chunks[ci].Lo:chunks[ci].Hi] {
+			if !site.Cert.HasSCTList() {
+				continue
+			}
+			res, err := ca.ValidateEmbeddedSCTs(site.Cert, site.IssuerKeyHash, verifiers)
+			if err != nil {
+				detectErr.Record(ci, fmt.Errorf("scanner: validating %s: %w", site.Domain, err))
+				return
+			}
+			if res.Invalid() {
+				found[ci] = append(found[ci], InvalidCert{Domain: site.Domain, CAOrg: site.CAOrg, Problems: res.Problems})
+			}
+		}
+	})
+	if err := detectErr.Err(); err != nil {
+		return nil, err
+	}
 	var out []InvalidCert
-	for _, site := range sites {
-		if !site.Cert.HasSCTList() {
-			continue
-		}
-		res, err := ca.ValidateEmbeddedSCTs(site.Cert, site.IssuerKeyHash, verifiers)
-		if err != nil {
-			return nil, fmt.Errorf("scanner: validating %s: %w", site.Domain, err)
-		}
-		if res.Invalid() {
-			out = append(out, InvalidCert{Domain: site.Domain, CAOrg: site.CAOrg, Problems: res.Problems})
-		}
+	for _, f := range found {
+		out = append(out, f...)
 	}
 	return out, nil
 }

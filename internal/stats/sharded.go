@@ -7,9 +7,11 @@ import "sync"
 // without bloating the merge step.
 const Shards = 16
 
-// fnv1a is the 64-bit FNV-1a hash, inlined so shard selection costs one
-// pass over the key and no allocation.
-func fnv1a(s string) uint64 {
+// Hash64 is the 64-bit FNV-1a hash, inlined so hashing costs one pass
+// over the key and no allocation. It is the shared string hash of the
+// concurrent pipelines: shard selection here and seed-salting in the
+// fan-out layer (ecosystem.SaltString) both use it.
+func Hash64(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -26,7 +28,7 @@ func fnv1a(s string) uint64 {
 // collapse same-shaped keys onto one shard (equal-length labels all land
 // together); FNV-1a spreads them uniformly.
 func Shard(key string, n int) int {
-	return int(fnv1a(key) % uint64(n))
+	return int(Hash64(key) % uint64(n))
 }
 
 // ShardedCounter is a Counter split over independently locked shards
@@ -138,6 +140,31 @@ func (s *StringSet) Len() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// NumShards returns the shard count, for callers that fan work out one
+// shard at a time (each key lives in exactly one shard).
+func (s *StringSet) NumShards() int { return len(s.shards) }
+
+// ForEachShard calls fn for every key in shard i, holding that shard's
+// lock for the duration. It is the zero-copy handoff used by the census:
+// a worker consumes whole shards in place instead of materializing the
+// set into an intermediate map or slice. fn must not call back into the
+// same shard.
+func (s *StringSet) ForEachShard(i int, fn func(key string)) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for k := range sh.m {
+		fn(k)
+	}
+}
+
+// ForEach calls fn for every key in the set, shard by shard.
+func (s *StringSet) ForEach(fn func(key string)) {
+	for i := range s.shards {
+		s.ForEachShard(i, fn)
+	}
 }
 
 // Snapshot materializes the set as a plain map, sized exactly.

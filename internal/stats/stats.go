@@ -142,7 +142,15 @@ func DayKey(t time.Time) string { return t.UTC().Format("2006-01-02") }
 
 // Add accumulates v into (series, day of t).
 func (s *DaySeries) Add(series string, t time.Time, v float64) {
-	day := DayKey(t)
+	s.AddKey(series, DayKey(t), v)
+}
+
+// AddKey accumulates v into (series, day) with the day already formatted
+// — the hot-path form for callers that observe many events on the same
+// day and memoize the DayKey formatting (the traffic monitor adds up to
+// four series values per connection; formatting the same date four times
+// per event dominated its allocation profile).
+func (s *DaySeries) AddKey(series, day string, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.values[series]

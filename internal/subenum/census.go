@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"ctrise/internal/dnsname"
+	"ctrise/internal/ecosystem"
 	"ctrise/internal/psl"
 	"ctrise/internal/stats"
 )
@@ -58,35 +59,44 @@ type censusPartial struct {
 	rejected   uint64
 }
 
-// runCensusChunk parses one chunk of names into a private aggregate.
-func runCensusChunk(names []string, list *psl.List) *censusPartial {
-	p := &censusPartial{
+func newCensusPartial() *censusPartial {
+	return &censusPartial{
 		labels:         make(map[string]uint64),
 		labelsBySuffix: make(map[string]map[string]uint64),
 		domains:        make(map[string]string),
 	}
+}
+
+// observe parses one raw certificate name into the aggregate.
+func (p *censusPartial) observe(raw string, list *psl.List) {
+	name := dnsname.Normalize(dnsname.TrimWildcard(raw))
+	if !dnsname.IsValidFQDN(name) {
+		p.rejected++
+		return
+	}
+	sub, regDomain, suffix, err := list.Split(name)
+	if err != nil {
+		p.rejected++
+		return
+	}
+	p.validFQDNs++
+	p.domains[regDomain] = suffix
+	for _, label := range sub {
+		p.labels[label]++
+		sc := p.labelsBySuffix[suffix]
+		if sc == nil {
+			sc = make(map[string]uint64)
+			p.labelsBySuffix[suffix] = sc
+		}
+		sc[label]++
+	}
+}
+
+// runCensusChunk parses one chunk of names into a private aggregate.
+func runCensusChunk(names []string, list *psl.List) *censusPartial {
+	p := newCensusPartial()
 	for _, raw := range names {
-		name := dnsname.Normalize(dnsname.TrimWildcard(raw))
-		if !dnsname.IsValidFQDN(name) {
-			p.rejected++
-			continue
-		}
-		sub, regDomain, suffix, err := list.Split(name)
-		if err != nil {
-			p.rejected++
-			continue
-		}
-		p.validFQDNs++
-		p.domains[regDomain] = suffix
-		for _, label := range sub {
-			p.labels[label]++
-			sc := p.labelsBySuffix[suffix]
-			if sc == nil {
-				sc = make(map[string]uint64)
-				p.labelsBySuffix[suffix] = sc
-			}
-			sc[label]++
-		}
+		p.observe(raw, list)
 	}
 	return p
 }
@@ -131,6 +141,30 @@ func RunCensusParallel(names map[string]struct{}, list *psl.List, parallelism in
 		wg.Wait()
 	}
 
+	return mergeCensusPartials(partials)
+}
+
+// RunCensusSet is the census over a sharded name set — the zero-copy
+// handoff from the harvest: instead of materializing the corpus into an
+// intermediate map[string]struct{}, workers consume the dedup set's
+// shards in place (each key lives in exactly one shard, so shards
+// partition the corpus). parallelism 0 means GOMAXPROCS; output is
+// identical to RunCensusParallel over a snapshot of the same set.
+func RunCensusSet(names *stats.StringSet, list *psl.List, parallelism int) *Census {
+	shards := names.NumShards()
+	partials := make([]*censusPartial, shards)
+	ecosystem.ForEach(shards, parallelism, func(i int) {
+		p := newCensusPartial()
+		names.ForEachShard(i, func(raw string) { p.observe(raw, list) })
+		partials[i] = p
+	})
+	return mergeCensusPartials(partials)
+}
+
+// mergeCensusPartials folds worker aggregates into the final census.
+// Counts are additive and per-suffix domain lists are sorted, so the
+// result is independent of partial order.
+func mergeCensusPartials(partials []*censusPartial) *Census {
 	c := &Census{
 		Labels:          stats.NewCounter(),
 		LabelsBySuffix:  make(map[string]*stats.Counter),

@@ -2,6 +2,7 @@ package tlsmon
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"ctrise/internal/ecosystem"
@@ -63,42 +64,74 @@ var tlsChannelShares = []logShare{
 	{ecosystem.LogSymantecVega, 0.02},
 }
 
+// shareTable is a share list compiled into a cumulative-weight table, so
+// a draw costs one binary search instead of re-summing every weight. The
+// replay draws from these tables once or twice per connection; the
+// re-summing loop was O(len) per draw on the hottest path.
+type shareTable struct {
+	names []string
+	cum   []float64 // cum[i] = sum of weights 0..i
+	total float64
+}
+
+func newShareTable(shares []logShare) *shareTable {
+	t := &shareTable{
+		names: make([]string, len(shares)),
+		cum:   make([]float64, len(shares)),
+	}
+	for i, s := range shares {
+		t.total += s.weight
+		t.names[i] = s.name
+		t.cum[i] = t.total
+	}
+	return t
+}
+
+var (
+	certTable = newShareTable(certChannelShares)
+	tlsTable  = newShareTable(tlsChannelShares)
+)
+
+// draw samples one log name: the first entry whose cumulative weight
+// exceeds a uniform draw over the total weight.
+func (t *shareTable) draw(rng *rand.Rand) string {
+	p := rng.Float64() * t.total
+	i := sort.Search(len(t.cum), func(i int) bool { return p < t.cum[i] })
+	if i == len(t.names) {
+		i--
+	}
+	return t.names[i]
+}
+
 // secondSCTProb is the chance a connection's channel carries a second
 // log's SCT (Chrome policy wants multiple logs; observed per-channel
 // shares sum to slightly over 100%).
 const secondSCTProb = 0.06
 
-// drawLogs samples 1–2 log names from a share table.
-func drawLogs(rng *rand.Rand, shares []logShare) []string {
-	out := []string{drawOne(rng, shares)}
+// drawLogs samples 1–2 log names from a share table into dst (reusing
+// its backing storage). A multi-log connection carries SCTs from two
+// distinct logs, as the Chrome policy intends: the second draw retries
+// until it differs from the first instead of silently collapsing the
+// connection back to one log.
+func (t *shareTable) drawLogs(rng *rand.Rand, dst []string) []string {
+	dst = append(dst[:0], t.draw(rng))
 	if rng.Float64() < secondSCTProb {
-		second := drawOne(rng, shares)
-		if second != out[0] {
-			out = append(out, second)
+		second := t.draw(rng)
+		for second == dst[0] {
+			second = t.draw(rng)
 		}
+		dst = append(dst, second)
 	}
-	return out
-}
-
-func drawOne(rng *rand.Rand, shares []logShare) string {
-	var total float64
-	for _, s := range shares {
-		total += s.weight
-	}
-	p := rng.Float64() * total
-	var cum float64
-	for _, s := range shares {
-		cum += s.weight
-		if p < cum {
-			return s.name
-		}
-	}
-	return shares[len(shares)-1].name
+	return dst
 }
 
 // GenConfig parameterizes the traffic generator.
 type GenConfig struct {
-	// Seed drives all randomness.
+	// Seed drives all randomness. Every day of the replay derives a
+	// private RNG from (Seed, day index) by seed-splitting, and the
+	// burst-day selection draws from its own derived stream, so the
+	// emitted connection stream depends only on Seed — not on worker
+	// count or scheduling.
 	Seed int64
 	// Start/End bound the observation window; defaults to the paper's
 	// 2017-04-26 .. 2018-05-23.
@@ -113,6 +146,10 @@ type GenConfig struct {
 	// TLS-extension connections to graph.facebook.com. Default 2, which
 	// lifts a burst day's SCT share to ≈66% like the Figure 2 peaks.
 	BurstFactor int
+	// Parallelism bounds the generator's worker fan-out: 0 means
+	// GOMAXPROCS, 1 forces the sequential path. The stream is identical
+	// at every setting.
+	Parallelism int
 }
 
 func (cfg *GenConfig) setDefaults() {
@@ -135,66 +172,136 @@ func (cfg *GenConfig) setDefaults() {
 	}
 }
 
+// Seed-split salts naming the generator's independent random streams.
+const (
+	saltBurstDays = 0x6275727374 // "burst"
+	saltTraffic   = 0x74726166   // "traf"
+)
+
+// genDayChunk is the number of days one worker generates into a private
+// buffer before the ordered merge emits them. Small enough that a
+// 13-month window splits into ~100 chunks (ample load-balancing), large
+// enough that channel traffic is negligible.
+const genDayChunk = 4
+
 // Generate synthesizes the connection stream and feeds it to emit in time
 // order. It reproduces the published workload shape: the channel mix and
 // log shares above, constant over time (the paper observes no immediate
 // post-deadline change because certificates replace only gradually), with
 // occasional graph.facebook.com bursts.
+//
+// Day chunks are generated by up to GenConfig.Parallelism workers into
+// private buffers and emitted via an ordered merge: emit always runs on
+// the calling goroutine, in day order, and the stream is identical at
+// every parallelism setting. The *Connection passed to emit is reused
+// for later connections — callers that retain it past the callback must
+// copy it.
 func Generate(cfg GenConfig, emit func(*Connection)) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	totalDays := int(cfg.End.Sub(cfg.Start).Hours()/24) + 1
+	// Burst-day selection draws from its own derived stream, up front, so
+	// per-day generation is independent of it.
+	burstRng := ecosystem.NewRand(ecosystem.DeriveSeed(cfg.Seed, saltBurstDays))
 	burst := make(map[int]bool, cfg.BurstDays)
 	for len(burst) < cfg.BurstDays && len(burst) < totalDays {
-		burst[rng.Intn(totalDays)] = true
+		burst[burstRng.Intn(totalDays)] = true
 	}
 
-	for dayIdx := 0; dayIdx < totalDays; dayIdx++ {
+	chunks := ecosystem.Ranges(totalDays, genDayChunk)
+	// Workers recycle day-chunk buffers through a bounded free list: a
+	// buffer returns after its chunk is emitted, so the steady state
+	// keeps a handful of buffers in flight (producing + queued + one
+	// being consumed) instead of allocating per chunk. An explicit
+	// channel, unlike sync.Pool, is immune to GC flushes — the replay
+	// allocates enough per run that a pool would be emptied mid-stream.
+	workers := ecosystem.Workers(cfg.Parallelism, len(chunks))
+	free := make(chan []Connection, 2*workers+2)
+	ecosystem.ForEachOrdered(len(chunks), workers,
+		func(ci int) []Connection {
+			var buf []Connection
+			select {
+			case buf = <-free:
+			default:
+			}
+			return generateDays(&cfg, chunks[ci], burst, buf)
+		},
+		func(_ int, buf []Connection) {
+			for i := range buf {
+				emit(&buf[i])
+			}
+			select {
+			case free <- buf[:0]:
+			default:
+			}
+		})
+}
+
+// generateDays fills buf with the connections of the day range [r.Lo,
+// r.Hi), reusing buf's storage (and each Connection's inline log-name
+// arrays) when capacity allows.
+func generateDays(cfg *GenConfig, r ecosystem.Range, burst map[int]bool, buf []Connection) []Connection {
+	chunkTotal := 0
+	for dayIdx := r.Lo; dayIdx < r.Hi; dayIdx++ {
+		chunkTotal += cfg.ConnsPerDay
+		if burst[dayIdx] {
+			chunkTotal += cfg.ConnsPerDay * (cfg.BurstFactor - 1)
+		}
+	}
+	if cap(buf) < chunkTotal {
+		buf = make([]Connection, 0, chunkTotal)
+	}
+	buf = buf[:0]
+	for dayIdx := r.Lo; dayIdx < r.Hi; dayIdx++ {
+		rng := ecosystem.NewRand(ecosystem.DeriveSeed(cfg.Seed, saltTraffic, uint64(dayIdx)))
 		day := cfg.Start.AddDate(0, 0, dayIdx)
 		n := cfg.ConnsPerDay
+		total := n
+		if burst[dayIdx] {
+			total += n * (cfg.BurstFactor - 1)
+		}
 		for i := 0; i < n; i++ {
-			c := &Connection{
-				Time:              day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour)))),
-				ClientSupportsSCT: rng.Float64() < pClientSupport,
-			}
+			buf = buf[:len(buf)+1]
+			c := &buf[len(buf)-1]
+			c.reset()
+			c.Time = day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
+			c.ClientSupportsSCT = rng.Float64() < pClientSupport
 			assignChannels(rng, c)
-			emit(c)
 		}
 		if burst[dayIdx] {
 			// graph.facebook.com burst: a surge of TLS-extension SCT
 			// connections to one name, lifting the day's SCT share.
-			extra := n * (cfg.BurstFactor - 1)
-			for i := 0; i < extra; i++ {
-				c := &Connection{
-					Time:              day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour)))),
-					ServerName:        "graph.facebook.com",
-					ClientSupportsSCT: true,
-					TLSLogs:           drawLogs(rng, tlsChannelShares),
-				}
-				emit(c)
+			for i := 0; i < total-n; i++ {
+				buf = buf[:len(buf)+1]
+				c := &buf[len(buf)-1]
+				c.reset()
+				c.Time = day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
+				c.ServerName = "graph.facebook.com"
+				c.ClientSupportsSCT = true
+				c.TLSLogs = tlsTable.drawLogs(rng, c.tlsBuf())
 			}
 		}
 	}
+	return buf
 }
 
 func assignChannels(rng *rand.Rand, c *Connection) {
 	p := rng.Float64()
 	switch {
 	case p < pCertOnly:
-		c.CertLogs = drawLogs(rng, certChannelShares)
+		c.CertLogs = certTable.drawLogs(rng, c.certBuf())
 	case p < pCertOnly+pTLSOnly:
-		c.TLSLogs = drawLogs(rng, tlsChannelShares)
+		c.TLSLogs = tlsTable.drawLogs(rng, c.tlsBuf())
 	case p < pCertOnly+pTLSOnly+pOCSPOnly:
-		c.OCSPLogs = drawLogs(rng, tlsChannelShares)
+		c.OCSPLogs = tlsTable.drawLogs(rng, c.ocspBuf())
 	case p < pCertOnly+pTLSOnly+pOCSPOnly+pCertTLS:
-		c.CertLogs = drawLogs(rng, certChannelShares)
-		c.TLSLogs = drawLogs(rng, tlsChannelShares)
+		c.CertLogs = certTable.drawLogs(rng, c.certBuf())
+		c.TLSLogs = tlsTable.drawLogs(rng, c.tlsBuf())
 	case p < pCertOnly+pTLSOnly+pOCSPOnly+pCertTLS+pTLSOCSP:
-		c.TLSLogs = drawLogs(rng, tlsChannelShares)
-		c.OCSPLogs = append([]string(nil), c.TLSLogs...)
+		c.TLSLogs = tlsTable.drawLogs(rng, c.tlsBuf())
+		c.OCSPLogs = append(c.ocspBuf(), c.TLSLogs...)
 	case p < pCertOnly+pTLSOnly+pOCSPOnly+pCertTLS+pTLSOCSP+pCertOCSP:
-		c.CertLogs = drawLogs(rng, certChannelShares)
-		c.OCSPLogs = drawLogs(rng, tlsChannelShares)
+		c.CertLogs = certTable.drawLogs(rng, c.certBuf())
+		c.OCSPLogs = tlsTable.drawLogs(rng, c.ocspBuf())
 	}
 }

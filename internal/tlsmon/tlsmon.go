@@ -31,7 +31,27 @@ type Connection struct {
 	CertLogs []string
 	TLSLogs  []string
 	OCSPLogs []string
+
+	// logBuf is inline backing storage for the three channel slices: a
+	// channel carries at most two SCTs, so the generator fills slices
+	// over this array instead of allocating per connection. Connections
+	// built by hand (tests, other sources) simply leave it unused.
+	logBuf [6]string
 }
+
+// reset clears the connection for reuse as generator scratch.
+func (c *Connection) reset() {
+	c.Time = time.Time{}
+	c.ServerName = ""
+	c.ClientSupportsSCT = false
+	c.CertLogs, c.TLSLogs, c.OCSPLogs = nil, nil, nil
+}
+
+// certBuf/tlsBuf/ocspBuf return empty slices over the connection's
+// inline storage, two capacity each, for the generator to append into.
+func (c *Connection) certBuf() []string { return c.logBuf[0:0:2] }
+func (c *Connection) tlsBuf() []string  { return c.logBuf[2:2:4] }
+func (c *Connection) ocspBuf() []string { return c.logBuf[4:4:6] }
 
 // HasSCT reports whether any channel carried an SCT.
 func (c *Connection) HasSCT() bool {
@@ -62,6 +82,37 @@ type Monitor struct {
 	// per-log counters for Table 1.
 	certByLog *stats.Counter
 	tlsByLog  *stats.Counter
+	// lastDayNum/lastDayKey memoize DayKey formatting: consecutive
+	// connections overwhelmingly share a day, so the common case skips
+	// time.Format for all four per-connection series updates.
+	lastDayNum int64
+	lastDayKey string
+	// Per-day tallies, flushed into daily on day change (the generator
+	// emits in day order) and before any read. This turns four locked
+	// map updates per connection into four plain increments.
+	dayConns, daySCT, dayCert, dayTLS float64
+}
+
+// flushDay folds the current day's tallies into the day series. Flushes
+// are additive, so out-of-day-order observers stay correct — they just
+// flush more often.
+func (m *Monitor) flushDay() {
+	if m.lastDayNum < 0 {
+		return
+	}
+	if m.dayConns > 0 {
+		m.daily.AddKey(seriesTotal, m.lastDayKey, m.dayConns)
+	}
+	if m.daySCT > 0 {
+		m.daily.AddKey(seriesSCT, m.lastDayKey, m.daySCT)
+	}
+	if m.dayCert > 0 {
+		m.daily.AddKey(seriesCertSCT, m.lastDayKey, m.dayCert)
+	}
+	if m.dayTLS > 0 {
+		m.daily.AddKey(seriesTLSSCT, m.lastDayKey, m.dayTLS)
+	}
+	m.dayConns, m.daySCT, m.dayCert, m.dayTLS = 0, 0, 0, 0
 }
 
 // Series names used in the daily aggregation.
@@ -75,33 +126,39 @@ const (
 // NewMonitor returns an empty monitor.
 func NewMonitor() *Monitor {
 	return &Monitor{
-		daily:     stats.NewDaySeries(),
-		certByLog: stats.NewCounter(),
-		tlsByLog:  stats.NewCounter(),
+		daily:      stats.NewDaySeries(),
+		certByLog:  stats.NewCounter(),
+		tlsByLog:   stats.NewCounter(),
+		lastDayNum: -1,
 	}
 }
 
-// Observe ingests one connection.
+// Observe ingests one connection. It does not retain c.
 func (m *Monitor) Observe(c *Connection) {
+	if dayNum := c.Time.Unix() / (24 * 60 * 60); dayNum != m.lastDayNum {
+		m.flushDay()
+		m.lastDayNum = dayNum
+		m.lastDayKey = stats.DayKey(c.Time)
+	}
 	m.totals.Connections++
 	if c.ClientSupportsSCT {
 		m.totals.ClientSupport++
 	}
-	m.daily.Add(seriesTotal, c.Time, 1)
+	m.dayConns++
 	if c.HasSCT() {
 		m.totals.WithSCT++
-		m.daily.Add(seriesSCT, c.Time, 1)
+		m.daySCT++
 	}
 	if len(c.CertLogs) > 0 {
 		m.totals.CertSCT++
-		m.daily.Add(seriesCertSCT, c.Time, 1)
+		m.dayCert++
 		for _, l := range c.CertLogs {
 			m.certByLog.Inc(l)
 		}
 	}
 	if len(c.TLSLogs) > 0 {
 		m.totals.TLSSCT++
-		m.daily.Add(seriesTLSSCT, c.Time, 1)
+		m.dayTLS++
 		for _, l := range c.TLSLogs {
 			m.tlsByLog.Inc(l)
 		}
@@ -133,6 +190,7 @@ type Figure2Point struct {
 
 // Figure2 returns the daily percentages, in day order.
 func (m *Monitor) Figure2() []Figure2Point {
+	m.flushDay()
 	days := m.daily.Days()
 	out := make([]Figure2Point, 0, len(days))
 	for _, d := range days {

@@ -49,8 +49,8 @@ func TestParallelPipelineEquivalence(t *testing.T) {
 			seq.TotalPrecerts, seq.TotalFinal, par.TotalPrecerts, par.TotalFinal)
 	}
 	// Name sets.
-	if len(seq.Names) == 0 || !reflect.DeepEqual(seq.Names, par.Names) {
-		t.Fatalf("name sets differ: seq=%d par=%d", len(seq.Names), len(par.Names))
+	if len(seq.Names()) == 0 || !reflect.DeepEqual(seq.Names(), par.Names()) {
+		t.Fatalf("name sets differ: seq=%d par=%d", len(seq.Names()), len(par.Names()))
 	}
 	// Day series, cell by cell.
 	seqDays, seqOrgs, seqTable := seq.PrecertsByOrgDay.Table()
@@ -83,10 +83,12 @@ func TestParallelPipelineEquivalence(t *testing.T) {
 		}
 	}
 
-	// Census over the harvested corpus: Table 2 and friends.
+	// Census over the harvested corpus: Table 2 and friends. The
+	// sequential side materializes a map; the parallel side consumes the
+	// sharded set zero-copy — both must agree.
 	list := psl.Default()
-	seqCensus := subenum.RunCensusParallel(seq.Names, list, 1)
-	parCensus := subenum.RunCensusParallel(par.Names, list, 8)
+	seqCensus := subenum.RunCensusParallel(seq.Names(), list, 1)
+	parCensus := subenum.RunCensusSet(par.NameSet, list, 8)
 	if seqCensus.ValidFQDNs == 0 {
 		t.Fatal("census saw no valid FQDNs")
 	}
