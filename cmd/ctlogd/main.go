@@ -3,20 +3,25 @@
 //
 // Usage:
 //
-//	ctlogd [-addr 127.0.0.1:8764] [-name "Dev Log"] [-capacity N]
+//	ctlogd [-addr 127.0.0.1:8764] [-name "Dev Log"] [-capacity N] [-sequence 1s]
 //
 // The ct/v1 endpoints (add-chain, add-pre-chain, get-sth,
 // get-sth-consistency, get-proof-by-hash, get-entries) are served under
 // the given address. -capacity rate-limits submissions per second to
-// experiment with overload behaviour (the Nimbus incident).
+// experiment with overload behaviour (the Nimbus incident). -sequence
+// sets the batch interval at which staged submissions are integrated
+// into the Merkle tree and a fresh STH published — production logs run
+// the same loop well inside their MMD.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"ctrise/internal/ctlog"
 	"ctrise/internal/sct"
@@ -27,7 +32,11 @@ func main() {
 	name := flag.String("name", "Dev Log", "log display name")
 	operator := flag.String("operator", "ctrise", "log operator")
 	capacity := flag.Float64("capacity", 0, "max submissions/second (0 = unlimited)")
+	interval := flag.Duration("sequence", time.Second, "sequencer batch interval (integrate staged entries + publish STH; must be positive)")
 	flag.Parse()
+	if *interval <= 0 {
+		log.Fatal("ctlogd: -sequence must be a positive duration")
+	}
 
 	signer, err := sct.NewSigner(nil)
 	if err != nil {
@@ -43,29 +52,25 @@ func main() {
 		log.Fatalf("creating log: %v", err)
 	}
 
-	// Publish fresh STHs periodically so monitors see progress.
+	// The sequencer ticker integrates staged submissions and publishes
+	// fresh STHs, so reads serve the latest sequenced batch and monitors
+	// see progress without any per-request publishing.
+	go func() {
+		if err := l.RunSequencer(context.Background(), *interval); err != nil && err != context.Canceled {
+			log.Fatalf("sequencer: %v", err)
+		}
+	}()
+
 	mux := http.NewServeMux()
-	mux.Handle("/ct/v1/", publishingHandler{l})
-	mux.HandleFunc("GET /", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintf(w, "%s (%s)\nlog id: %s\ntree size: %d\n", l.Name(), l.Operator(), l.LogID(), l.TreeSize())
+	mux.Handle("/ct/v1/", l.Handler())
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "%s (%s)\nlog id: %s\ntree size: %d (staged: %d)\n",
+			l.Name(), l.Operator(), l.LogID(), l.TreeSize(), l.PendingCount())
 	})
 
-	fmt.Fprintf(os.Stderr, "ctlogd: %s listening on http://%s (log id %s)\n", *name, *addr, l.LogID())
+	fmt.Fprintf(os.Stderr, "ctlogd: %s listening on http://%s (log id %s, sequencing every %s)\n",
+		*name, *addr, l.LogID(), *interval)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
-}
-
-// publishingHandler publishes an STH before every read so the standalone
-// log never appears stale (production logs batch within the MMD instead).
-type publishingHandler struct{ l *ctlog.Log }
-
-func (h publishingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodGet {
-		if _, err := h.l.PublishSTH(); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-	}
-	h.l.Handler().ServeHTTP(w, r)
 }

@@ -241,6 +241,14 @@ func (c *CA) Prepare(req Request) (*Prepared, error) {
 // PrepareSerial is Prepare with a caller-assigned serial number, which
 // must come from ReserveSerials.
 func (c *CA) PrepareSerial(req Request, serial uint64) (*Prepared, error) {
+	return c.PrepareSerialAt(req, serial, c.cfg.Clock())
+}
+
+// PrepareSerialAt is PrepareSerial with an explicit issuance time
+// instead of the CA clock. Pipelined replays use it to construct day
+// d+1's certificates while the shared virtual clock still sits on day d
+// (whose submissions are being committed concurrently).
+func (c *CA) PrepareSerialAt(req Request, serial uint64, now time.Time) (*Prepared, error) {
 	if len(req.Names) == 0 {
 		return nil, ErrNoNames
 	}
@@ -257,7 +265,6 @@ func (c *CA) PrepareSerial(req Request, serial uint64) (*Prepared, error) {
 			return nil, fmt.Errorf("ca: stale-SCT fault needs an embedded predecessor: %w", err)
 		}
 	}
-	now := c.cfg.Clock()
 	base := &certs.Certificate{
 		SerialNumber: serial,
 		Issuer:       certs.Name{CommonName: c.cfg.Name, Organization: c.cfg.Org},

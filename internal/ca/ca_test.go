@@ -69,7 +69,9 @@ func TestIssueEmbedsValidSCTs(t *testing.T) {
 	if len(iss.SCTs) != 2 || len(iss.Logs) != 2 {
 		t.Fatalf("SCTs = %d, logs = %v", len(iss.SCTs), iss.Logs)
 	}
-	// Both logs sequenced the precert.
+	// Both logs staged the precert; sequencing integrates it.
+	l1.Sequence()
+	l2.Sequence()
 	if l1.TreeSize() != 1 || l2.TreeSize() != 1 {
 		t.Fatalf("log sizes: %d, %d", l1.TreeSize(), l2.TreeSize())
 	}
@@ -220,7 +222,7 @@ func TestLogFinalCerts(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Precert + final cert = 2 entries.
-	if l.TreeSize() != 2 {
+	if l.Sequence(); l.TreeSize() != 2 {
 		t.Fatalf("tree size = %d, want 2", l.TreeSize())
 	}
 }

@@ -264,7 +264,9 @@ func (c *Client) VerifyInclusion(ctx context.Context, entry *ctlog.Entry, sth ct
 // agents.
 type Monitor struct {
 	Client *Client
-	// Batch caps the entries requested per get-entries call.
+	// Batch caps the entries requested per get-entries call. 0 requests
+	// the whole remaining range in one call and lets the server's page
+	// limit decide the batch size.
 	Batch uint64
 
 	lastSTH *ctlog.SignedTreeHead
@@ -280,6 +282,62 @@ func NewMonitor(client *Client) *Monitor {
 // EntriesSeen reports how many entries the monitor has consumed.
 func (m *Monitor) EntriesSeen() uint64 { return m.entries }
 
+// StreamEntries fetches entries [start, end] (inclusive) over HTTP and
+// delivers them to fn strictly in index order, mirroring
+// ctlog.Log.StreamEntries semantics for a remote log. Requests are
+// paged: each get-entries call asks for at most Batch entries (the
+// whole remainder when Batch is 0), and when the server clamps an
+// oversized range to its own page limit and returns a partial page —
+// as real logs do — the next request resumes from the first undelivered
+// index, so the walk is gap-free at any client/server page-size
+// combination. A response that skips indices is rejected rather than
+// silently accepted.
+//
+// ctx is checked between entries, not just between pages, so a canceled
+// harvest stops mid-page. The returned index is the first index NOT
+// delivered (start + number of entries fn saw), letting callers resume.
+func (m *Monitor) StreamEntries(ctx context.Context, start, end uint64, fn func(*ctlog.Entry) error) (uint64, error) {
+	next := start
+	for next <= end {
+		if err := ctx.Err(); err != nil {
+			return next, err
+		}
+		reqEnd := end
+		if m.Batch > 0 && next+m.Batch-1 < end {
+			reqEnd = next + m.Batch - 1
+		}
+		batch, err := m.Client.GetEntries(ctx, next, reqEnd)
+		if err != nil {
+			return next, err
+		}
+		if len(batch) == 0 {
+			return next, fmt.Errorf("%w: empty batch at %d", ErrBadBody, next)
+		}
+		for _, e := range batch {
+			if err := ctx.Err(); err != nil {
+				return next, err
+			}
+			// Gap first: a response that does not continue at the next
+			// expected index is a protocol violation, whether the
+			// stray indices land inside or beyond the requested range.
+			if e.Index != next {
+				return next, fmt.Errorf("%w: gap in entries: got %d, want %d", ErrBadBody, e.Index, next)
+			}
+			if e.Index > end {
+				// An over-generous server returned entries past the
+				// requested range; never deliver what the caller did
+				// not ask for.
+				return next, nil
+			}
+			if err := fn(e); err != nil {
+				return next, err
+			}
+			next = e.Index + 1
+		}
+	}
+	return next, nil
+}
+
 // Poll fetches the current STH and streams any new entries to fn in order.
 // When a previous STH exists, the monitor verifies log consistency before
 // consuming new entries, so a forked log is detected rather than followed.
@@ -288,39 +346,35 @@ func (m *Monitor) Poll(ctx context.Context, fn func(*ctlog.Entry) error) error {
 	if err != nil {
 		return err
 	}
-	if m.lastSTH != nil && sth.TreeHead.TreeSize > m.lastSTH.TreeHead.TreeSize {
+	// Consistency with the previous head, when there was one. A previous
+	// size of 0 is trivially consistent with anything, and logs reject
+	// get-sth-consistency with first=0, so no proof is requested then.
+	if m.lastSTH != nil && sth.TreeHead.TreeSize > m.lastSTH.TreeHead.TreeSize && m.lastSTH.TreeHead.TreeSize > 0 {
 		proof, err := m.Client.GetConsistencyProof(ctx, m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize)
 		if err != nil {
 			return err
 		}
-		if m.lastSTH.TreeHead.TreeSize > 0 {
-			if err := merkle.VerifyConsistency(
-				m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize,
-				merkle.Hash(m.lastSTH.TreeHead.RootHash), merkle.Hash(sth.TreeHead.RootHash),
-				proof,
-			); err != nil {
-				return fmt.Errorf("ctclient: log fork detected: %w", err)
-			}
+		if err := merkle.VerifyConsistency(
+			m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize,
+			merkle.Hash(m.lastSTH.TreeHead.RootHash), merkle.Hash(sth.TreeHead.RootHash),
+			proof,
+		); err != nil {
+			return fmt.Errorf("ctclient: log fork detected: %w", err)
 		}
 	}
-	for m.nextIdx < sth.TreeHead.TreeSize {
-		end := m.nextIdx + m.Batch - 1
-		if end >= sth.TreeHead.TreeSize {
-			end = sth.TreeHead.TreeSize - 1
-		}
-		batch, err := m.Client.GetEntries(ctx, m.nextIdx, end)
-		if err != nil {
-			return err
-		}
-		if len(batch) == 0 {
-			return fmt.Errorf("%w: empty batch at %d", ErrBadBody, m.nextIdx)
-		}
-		for _, e := range batch {
+	if sth.TreeHead.TreeSize > m.nextIdx {
+		next, err := m.StreamEntries(ctx, m.nextIdx, sth.TreeHead.TreeSize-1, func(e *ctlog.Entry) error {
 			if err := fn(e); err != nil {
 				return err
 			}
-			m.nextIdx = e.Index + 1
 			m.entries++
+			return nil
+		})
+		// Record progress even on error so a retried Poll resumes from
+		// the first undelivered entry instead of re-fetching.
+		m.nextIdx = next
+		if err != nil {
+			return err
 		}
 	}
 	m.lastSTH = &sth

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -106,6 +107,9 @@ func TestGetEntriesAndInclusion(t *testing.T) {
 		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("cert-%d", i))); err != nil {
 			t.Fatal(err)
 		}
+		// Distinct timestamps, so the sequencer's canonical
+		// (timestamp, identity-hash) order preserves submission order.
+		e.now = e.now.Add(time.Second)
 	}
 	if _, err := e.log.PublishSTH(); err != nil {
 		t.Fatal(err)
@@ -155,11 +159,13 @@ func TestMonitorFollowsLog(t *testing.T) {
 		return nil
 	}
 
-	// Round 1: 5 entries.
+	// Round 1: 5 entries, clock advancing so sequence order follows
+	// submission order.
 	for i := 0; i < 5; i++ {
 		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("r1-%d", i))); err != nil {
 			t.Fatal(err)
 		}
+		e.now = e.now.Add(time.Second)
 	}
 	if _, err := e.log.PublishSTH(); err != nil {
 		t.Fatal(err)
@@ -176,6 +182,7 @@ func TestMonitorFollowsLog(t *testing.T) {
 		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("r2-%d", i))); err != nil {
 			t.Fatal(err)
 		}
+		e.now = e.now.Add(time.Second)
 	}
 	e.now = e.now.Add(time.Minute)
 	if _, err := e.log.PublishSTH(); err != nil {
@@ -294,5 +301,131 @@ func TestBadQueryParameters(t *testing.T) {
 	}
 	if _, _, err := e.client.GetProofByHash(ctx, [32]byte{1}, 0); err == nil {
 		t.Fatal("expected error for zero tree size")
+	}
+}
+
+// StreamEntries must walk an arbitrary [start, end] gap-free at any
+// client/server page-size combination: the server clamps oversized
+// requests to its own limit and returns partial pages, and the client
+// resumes from the first undelivered index.
+func TestMonitorStreamEntriesPagesGapFree(t *testing.T) {
+	e := newEnv(t, ctlog.Config{MaxGetEntries: 4})
+	ctx := context.Background()
+	const total = 23
+	for i := 0; i < total; i++ {
+		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("gapfree-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		e.now = e.now.Add(time.Second)
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	// Client batch sizes straddling the server's limit of 4: smaller,
+	// equal, larger, and "whole range in one request" (0).
+	for _, batch := range []uint64{1, 3, 4, 7, 100, 0} {
+		mon := NewMonitor(e.client)
+		mon.Batch = batch
+		var indices []uint64
+		next, err := mon.StreamEntries(ctx, 0, total-1, func(entry *ctlog.Entry) error {
+			indices = append(indices, entry.Index)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if next != total {
+			t.Fatalf("batch %d: next = %d, want %d", batch, next, total)
+		}
+		if len(indices) != total {
+			t.Fatalf("batch %d: delivered %d entries", batch, len(indices))
+		}
+		for i, idx := range indices {
+			if idx != uint64(i) {
+				t.Fatalf("batch %d: entry %d has index %d", batch, i, idx)
+			}
+		}
+	}
+}
+
+// A canceled context stops the entry loop mid-page: remaining entries of
+// an already-fetched batch are not delivered.
+func TestMonitorPollStopsMidPageOnCancel(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx := context.Background()
+	const total = 10
+	for i := 0; i < total; i++ {
+		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("cancel-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		e.now = e.now.Add(time.Second)
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	// One big page: the whole log arrives in a single get-entries
+	// response, and the callback cancels after the third entry.
+	cctx, cancel := context.WithCancel(ctx)
+	mon := NewMonitor(e.client)
+	mon.Batch = 0
+	var delivered int
+	err := mon.Poll(cctx, func(*ctlog.Entry) error {
+		delivered++
+		if delivered == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered = %d entries after cancellation, want 3", delivered)
+	}
+	// A fresh Poll resumes exactly where the canceled one stopped.
+	if err := mon.Poll(ctx, func(*ctlog.Entry) error { delivered++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != total || mon.EntriesSeen() != total {
+		t.Fatalf("delivered = %d, seen = %d, want %d", delivered, mon.EntriesSeen(), total)
+	}
+}
+
+// A server that returns more entries than the requested range must not
+// push entries the caller did not ask for into the callback.
+func TestMonitorStreamEntriesClampsOverGenerousServer(t *testing.T) {
+	e := newEnv(t, ctlog.Config{})
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := e.client.AddChain(ctx, []byte(fmt.Sprintf("over-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		e.now = e.now.Add(time.Second)
+	}
+	if _, err := e.log.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	// A proxy that ignores the requested end and always serves the whole
+	// log from start.
+	generous := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/ct/v1/get-entries" {
+			q := r.URL.Query()
+			q.Set("end", "100")
+			r.URL.RawQuery = q.Encode()
+		}
+		e.log.Handler().ServeHTTP(w, r)
+	}))
+	defer generous.Close()
+	mon := NewMonitor(New(generous.URL, nil))
+	var delivered int
+	next, err := mon.StreamEntries(ctx, 0, 2, func(*ctlog.Entry) error {
+		delivered++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 || next != 3 {
+		t.Fatalf("delivered %d entries, next %d; want 3 and 3", delivered, next)
 	}
 }

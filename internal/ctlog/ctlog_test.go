@@ -66,8 +66,15 @@ func TestAddChainIssuesValidSCT(t *testing.T) {
 	if err := l.Verifier().VerifySCT(s, sct.X509Entry(cert)); err != nil {
 		t.Fatalf("SCT does not verify: %v", err)
 	}
-	if l.TreeSize() != 1 {
-		t.Fatalf("tree size = %d", l.TreeSize())
+	// The SCT is a promise: the entry is staged, not yet in the tree.
+	if l.TreeSize() != 0 || l.PendingCount() != 1 {
+		t.Fatalf("tree size = %d, pending = %d", l.TreeSize(), l.PendingCount())
+	}
+	if n := l.Sequence(); n != 1 {
+		t.Fatalf("sequenced %d entries", n)
+	}
+	if l.TreeSize() != 1 || l.PendingCount() != 0 {
+		t.Fatalf("after sequence: tree size = %d, pending = %d", l.TreeSize(), l.PendingCount())
 	}
 }
 
@@ -100,8 +107,17 @@ func TestDuplicateSubmissionReturnsSameTimestamp(t *testing.T) {
 	if s1.Timestamp != s2.Timestamp {
 		t.Fatalf("duplicate got new timestamp: %d vs %d", s1.Timestamp, s2.Timestamp)
 	}
-	if l.TreeSize() != 1 {
+	if l.Sequence(); l.TreeSize() != 1 {
 		t.Fatalf("duplicate created new entry: size=%d", l.TreeSize())
+	}
+	// Dedupe also answers after sequencing.
+	clk.Advance(time.Hour)
+	s3, err := l.AddChain(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Timestamp != s1.Timestamp || l.PendingCount() != 0 {
+		t.Fatalf("post-sequence duplicate: ts=%d pending=%d", s3.Timestamp, l.PendingCount())
 	}
 }
 
@@ -372,6 +388,12 @@ func TestConcurrentSubmissions(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+	if l.PendingCount() != n {
+		t.Fatalf("pending = %d, want %d", l.PendingCount(), n)
+	}
+	if got := l.Sequence(); got != n {
+		t.Fatalf("sequenced %d, want %d", got, n)
 	}
 	if l.TreeSize() != n {
 		t.Fatalf("tree size = %d, want %d", l.TreeSize(), n)

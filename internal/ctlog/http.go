@@ -208,6 +208,12 @@ func (l *Log) handleGetProofByHash(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, GetProofByHashResponse{LeafIndex: index, AuditPath: encodeHashes(proof)})
 }
 
+// handleGetEntries serves get-entries. Like production logs, an
+// oversized [start, end] range is not an error and not served whole:
+// GetEntries clamps it to Config.MaxGetEntries (and to the published
+// tree size) and the response carries the resulting partial page, from
+// which clients are expected to page the remainder
+// (ctclient.Monitor.StreamEntries does).
 func (l *Log) handleGetEntries(w http.ResponseWriter, r *http.Request) {
 	start, err1 := strconv.ParseUint(r.URL.Query().Get("start"), 10, 64)
 	end, err2 := strconv.ParseUint(r.URL.Query().Get("end"), 10, 64)

@@ -1,0 +1,158 @@
+package ctlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"ctrise/internal/sct"
+)
+
+func newHTTPTestLog(t *testing.T, cfg Config) (*Log, *httptest.Server) {
+	t.Helper()
+	cfg.Name = "http test log"
+	cfg.Signer = sct.NewFastSigner(cfg.Name)
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(l.Handler())
+	t.Cleanup(srv.Close)
+	return l, srv
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func post(t *testing.T, srv *httptest.Server, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestHTTPAddChainErrorPaths(t *testing.T) {
+	_, srv := newHTTPTestLog(t, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"not json", "/ct/v1/add-chain", "{"},
+		{"empty chain", "/ct/v1/add-chain", `{"chain":[]}`},
+		{"bad base64", "/ct/v1/add-chain", `{"chain":["!!!not-base64!!!"]}`},
+		{"prechain missing key hash", "/ct/v1/add-pre-chain", `{"chain":["dGJz"]}`},
+		{"prechain bad tbs base64", "/ct/v1/add-pre-chain", `{"chain":["!!!","AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA="]}`},
+		{"prechain short key hash", "/ct/v1/add-pre-chain", `{"chain":["dGJz","c2hvcnQ="]}`},
+	}
+	for _, tc := range cases {
+		if resp := post(t, srv, tc.path, tc.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPGetEntriesErrorPaths(t *testing.T) {
+	l, srv := newHTTPTestLog(t, Config{})
+	if _, err := l.AddChain([]byte("one entry")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	for name, query := range map[string]string{
+		"missing params":  "",
+		"non-numeric":     "?start=x&end=y",
+		"negative":        "?start=-1&end=2",
+		"inverted range":  "?start=3&end=1",
+		"start past size": "?start=10&end=20",
+	} {
+		resp := get(t, srv, "/ct/v1/get-entries"+query)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPProofAndConsistencyErrorPaths(t *testing.T) {
+	l, srv := newHTTPTestLog(t, Config{})
+	for i := 0; i < 4; i++ {
+		if _, err := l.AddChain([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name, path string
+		want       int
+	}{
+		{"proof bad tree_size", "/ct/v1/get-proof-by-hash?hash=AAAA&tree_size=x", http.StatusBadRequest},
+		{"proof bad base64 hash", "/ct/v1/get-proof-by-hash?hash=!!!&tree_size=4", http.StatusBadRequest},
+		{"proof short hash", "/ct/v1/get-proof-by-hash?hash=c2hvcnQ=&tree_size=4", http.StatusBadRequest},
+		{"proof unknown hash", "/ct/v1/get-proof-by-hash?hash=" +
+			url.QueryEscape("q82RDxLKvBkbpdEvZ6pQ0FJ145U9PvyHcQRhnAuGYzo=") + "&tree_size=4", http.StatusNotFound},
+		{"consistency bad params", "/ct/v1/get-sth-consistency?first=a&second=b", http.StatusBadRequest},
+		{"consistency inverted", "/ct/v1/get-sth-consistency?first=4&second=2", http.StatusBadRequest},
+		{"unknown endpoint", "/ct/v1/get-roots", http.StatusNotFound},
+		{"wrong method", "/ct/v1/add-chain", http.StatusMethodNotAllowed},
+	}
+	for _, c := range checks {
+		resp := get(t, srv, c.path)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// Oversized [start, end] ranges are clamped to the server's page limit:
+// the response is a partial page starting at start, like real logs, and
+// the client is expected to retry the remainder.
+func TestHTTPGetEntriesClampsToPageLimit(t *testing.T) {
+	l, srv := newHTTPTestLog(t, Config{MaxGetEntries: 4})
+	const total = 11
+	for i := 0; i < total; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("page-cert-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	start := 0
+	for start < total {
+		resp, err := http.Get(srv.URL + fmt.Sprintf("/ct/v1/get-entries?start=%d&end=%d", start, total+50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body GetEntriesResponse
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Entries) == 0 {
+			t.Fatalf("empty page at %d", start)
+		}
+		sizes = append(sizes, len(body.Entries))
+		start += len(body.Entries)
+	}
+	// 11 entries at page limit 4: pages of 4, 4, 3.
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 3 {
+		t.Fatalf("page sizes = %v, want [4 4 3]", sizes)
+	}
+}

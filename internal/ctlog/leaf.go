@@ -26,6 +26,18 @@ type Entry struct {
 	IssuerKeyHash [32]byte
 	// Extensions are the SCT extensions covered by the leaf.
 	Extensions []byte
+
+	// idHash, idKey, and leafHash are stamped by the log at staging
+	// time so the sequencer can order and integrate the batch without
+	// rehashing: idHash is the dedupe identity, idKey its first 8 bytes
+	// as a cheap sort key, leafHash the Merkle leaf hash. dupAnswered
+	// (guarded by the log mutex) records that a resubmission was
+	// answered with this entry's SCT, pinning it against a signing-
+	// failure rollback. All are meaningless on client-parsed entries.
+	idHash      merkle.Hash
+	idKey       uint64
+	leafHash    merkle.Hash
+	dupAnswered bool
 }
 
 // MerkleTreeLeaf returns the RFC 6962 Section 3.4 leaf encoding:

@@ -5,6 +5,32 @@
 // Section 3 (SCT deployment), and Section 6 (honeypot leakage channel)
 // experiments run.
 //
+// # Stage → sequence lifecycle
+//
+// Like production logs (and unlike a textbook Merkle tree), submission
+// and integration are two phases:
+//
+//   - Stage: AddChain/AddPreChain compute the entry identity hash, the
+//     Merkle leaf hash, and the SCT signature entirely outside the log
+//     mutex — they depend only on the immutable entry bytes and the
+//     submission timestamp. The lock is held only for the dedupe lookup,
+//     the capacity check, and appending to the pending batch, so many
+//     CAs submitting to one log serialize on a few map operations, not
+//     on hashing or signing. The SCT returned to the submitter is the
+//     RFC 6962 promise: the entry will be integrated within the MMD.
+//   - Sequence: a sequencer drains the pending batch into the Merkle
+//     tree in canonical (timestamp, identity-hash) order, making the
+//     sequenced tree a pure function of the set of accepted submissions
+//     and their timestamps — independent of arrival interleaving. STHs
+//     only ever cover sequenced entries.
+//
+// Two sequencer modes exist. Experiments call Sequence/PublishSTH at
+// virtual-clock batch boundaries (the issuance timeline sequences and
+// publishes each log once per replayed day), which keeps replays
+// deterministic at any parallelism. The standalone server (cmd/ctlogd)
+// runs RunSequencer on a wall-clock ticker within the MMD, which is the
+// production shape.
+//
 // The log uses a caller-supplied clock so experiments replay the paper's
 // 2017–2018 timeline deterministically, and an optional capacity limit so
 // overload behaviour (the Nimbus incident discussed in Section 2 and the
@@ -13,6 +39,7 @@ package ctlog
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -76,9 +103,13 @@ type Log struct {
 	mu      sync.RWMutex
 	tree    *merkle.Tree
 	entries []*Entry
-	// dedupe maps cert-identity hash -> entry index, so resubmitting the
-	// same (pre)certificate returns the original SCT (like real logs).
-	dedupe map[merkle.Hash]uint64
+	// staged is the pending batch: accepted submissions that have an SCT
+	// but are not yet integrated into the tree. Sequence drains it.
+	staged []*Entry
+	// dedupe maps cert-identity hash -> entry (staged or sequenced), so
+	// resubmitting the same (pre)certificate returns the original SCT
+	// (like real logs) whether or not it has been integrated yet.
+	dedupe map[merkle.Hash]*Entry
 	// byLeafHash maps Merkle leaf hash -> entry index for get-proof-by-hash.
 	byLeafHash map[merkle.Hash]uint64
 	// published is the latest signed tree head; it may trail the tree by
@@ -114,7 +145,7 @@ func New(cfg Config) (*Log, error) {
 	l := &Log{
 		cfg:        cfg,
 		tree:       merkle.New(),
-		dedupe:     make(map[merkle.Hash]uint64),
+		dedupe:     make(map[merkle.Hash]*Entry),
 		byLeafHash: make(map[merkle.Hash]uint64),
 	}
 	l.bucketAt = cfg.Clock()
@@ -148,39 +179,43 @@ func (l *Log) Rejected() uint64 {
 }
 
 // AddChain submits a final certificate (x509_entry) and returns its SCT.
+// The entry is staged, not yet integrated: it enters the Merkle tree at
+// the next Sequence/PublishSTH, within the MMD.
 func (l *Log) AddChain(cert []byte) (*sct.SignedCertificateTimestamp, error) {
 	return l.add(sct.X509Entry(cert))
 }
 
 // AddPreChain submits a precertificate (precert_entry: issuer key hash +
 // defanged TBS) and returns its SCT, which the CA embeds in the final
-// certificate.
+// certificate. Like AddChain, the entry is staged for the next sequence
+// step.
 func (l *Log) AddPreChain(issuerKeyHash [32]byte, tbs []byte) (*sct.SignedCertificateTimestamp, error) {
 	return l.add(sct.PrecertEntry(issuerKeyHash, tbs))
 }
 
+// add stages one submission. The identity hash, the entry skeleton, and
+// the Merkle leaf hash are computed before the lock and the SCT is
+// signed after it: none of them depend on tree or batch state, so the
+// critical section is two map operations, the capacity check, and a
+// slice append.
 func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, error) {
 	now := l.cfg.Clock()
 	ts := uint64(now.UnixMilli())
 
-	l.mu.Lock()
-	defer l.mu.Unlock()
-
 	// Deduplicate on the entry identity (type + content), not the leaf
-	// (which would include the new timestamp).
+	// (which would include the new timestamp). The read-locked pre-check
+	// keeps resubmissions — the replay-flood common case — at one
+	// identity hash plus a map lookup, skipping the entry construction
+	// and leaf hashing below; the write-locked check further down
+	// remains authoritative for racing first submissions.
 	idHash := entryIdentity(ce)
-	if idx, ok := l.dedupe[idHash]; ok {
-		e := l.entries[idx]
-		return l.cfg.Signer.CreateSCT(e.Timestamp, e.SignatureEntry())
+	l.mu.RLock()
+	prev, dup := l.dedupe[idHash]
+	l.mu.RUnlock()
+	if dup {
+		return l.dedupeSCT(prev)
 	}
-
-	if !l.takeTokenLocked(now) {
-		l.rejected++
-		return nil, ErrOverloaded
-	}
-
 	e := &Entry{
-		Index:     uint64(len(l.entries)),
 		Timestamp: ts,
 		Type:      ce.Type,
 	}
@@ -190,19 +225,75 @@ func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, err
 	} else {
 		e.Cert = ce.Cert
 	}
-	s, err := l.cfg.Signer.CreateSCT(ts, ce)
-	if err != nil {
-		return nil, err
-	}
 	leafHash, err := e.LeafHash()
 	if err != nil {
 		return nil, err
 	}
-	l.tree.AppendLeafHash(leafHash)
-	l.entries = append(l.entries, e)
-	l.dedupe[idHash] = e.Index
-	l.byLeafHash[leafHash] = e.Index
+
+	e.idHash = idHash
+	e.idKey = binary.BigEndian.Uint64(idHash[:8])
+	e.leafHash = leafHash
+
+	l.mu.Lock()
+	if prev, ok := l.dedupe[idHash]; ok {
+		l.mu.Unlock()
+		return l.dedupeSCT(prev)
+	}
+	if !l.takeTokenLocked(now) {
+		l.rejected++
+		l.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	l.staged = append(l.staged, e)
+	l.dedupe[idHash] = e
+	l.mu.Unlock()
+
+	s, err := l.cfg.Signer.CreateSCT(ts, ce)
+	if err != nil {
+		l.unstage(e)
+		return nil, err
+	}
 	return s, nil
+}
+
+// dedupeSCT answers a resubmission: the SCT is re-issued over the
+// original entry's timestamp. Entry content fields are immutable once
+// staged, so reading them lock-free here is safe. The entry is marked
+// shared first (under the lock) so a concurrent signing-failure
+// rollback of the original submission cannot revoke an entry this
+// submitter is about to hold an SCT for.
+func (l *Log) dedupeSCT(prev *Entry) (*sct.SignedCertificateTimestamp, error) {
+	l.mu.Lock()
+	prev.dupAnswered = true
+	l.mu.Unlock()
+	return l.cfg.Signer.CreateSCT(prev.Timestamp, prev.SignatureEntry())
+}
+
+// unstage rolls a staged entry back after a signing failure, so the
+// tree never integrates an entry whose submitter received no SCT: the
+// entry is removed from the pending batch and the dedupe map, and its
+// capacity token is refunded. Two races make the rollback conditional:
+// if a concurrent Sequence already drained the batch the entry is
+// integrated and stays, and if a concurrent duplicate submission was
+// answered from the dedupe map (dupAnswered) the entry must sequence —
+// that submitter holds a valid SCT and the MMD promise it carries must
+// hold.
+func (l *Log) unstage(e *Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.dupAnswered {
+		return
+	}
+	for i := len(l.staged) - 1; i >= 0; i-- {
+		if l.staged[i] == e {
+			l.staged = append(l.staged[:i], l.staged[i+1:]...)
+			delete(l.dedupe, e.idHash)
+			if l.cfg.CapacityPerSecond > 0 && l.bucketTokens < l.cfg.CapacityPerSecond {
+				l.bucketTokens++
+			}
+			return
+		}
+	}
 }
 
 // entryIdentity hashes the content identity of a submission for dedupe.
@@ -245,19 +336,22 @@ func (l *Log) takeTokenLocked(now time.Time) bool {
 	return true
 }
 
-// TreeSize returns the current (unpublished) tree size.
+// TreeSize returns the current sequenced (but possibly unpublished) tree
+// size. Staged submissions are not counted until sequenced.
 func (l *Log) TreeSize() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.tree.Size()
 }
 
-// PublishSTH signs and publishes a tree head over the current tree. Real
-// logs do this periodically within the MMD; experiments call it at batch
-// boundaries of the virtual clock.
+// PublishSTH sequences all staged submissions and signs and publishes a
+// tree head over the resulting tree. Real logs do this periodically
+// within the MMD; experiments call it at batch boundaries of the virtual
+// clock.
 func (l *Log) PublishSTH() (SignedTreeHead, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.sequenceLocked()
 	if err := l.publishLocked(); err != nil {
 		return SignedTreeHead{}, err
 	}

@@ -1,0 +1,102 @@
+package ctlog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"slices"
+	"time"
+)
+
+// The sequencer is the second phase of the stage → sequence lifecycle
+// (see the package comment): it drains the pending batch AddChain and
+// AddPreChain built up and integrates it into the Merkle tree. Staging
+// and sequencing communicate only through Log.mu, so submitters keep
+// staging while a sequence step runs — they block only for the duration
+// of the batch's tree appends, not for any hashing or signing.
+
+// Sequence integrates every staged submission into the Merkle tree and
+// returns the number of entries integrated. It does not publish an STH;
+// callers that want the new tree visible to readers follow up with
+// PublishSTH (which itself sequences first, so experiments usually call
+// only that).
+//
+// The batch is integrated in canonical (timestamp, identity-hash) order,
+// which makes the sequenced tree a pure function of the accepted
+// submission set: concurrent submitters may stage in any interleaving —
+// across goroutines, runs, or parallelism settings — and the tree bytes
+// come out identical. This is what lets the timeline replay fan
+// submissions out freely and still prove byte-identical trees.
+func (l *Log) Sequence() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sequenceLocked()
+}
+
+func (l *Log) sequenceLocked() int {
+	if len(l.staged) == 0 {
+		return 0
+	}
+	batch := l.staged
+	l.staged = nil
+	// The comparator resolves almost always on the timestamp or the
+	// 8-byte hash prefix stamped at staging time; the full 32-byte
+	// compare is the correctness tiebreak for prefix collisions.
+	slices.SortFunc(batch, func(a, b *Entry) int {
+		if a.Timestamp != b.Timestamp {
+			if a.Timestamp < b.Timestamp {
+				return -1
+			}
+			return 1
+		}
+		if a.idKey != b.idKey {
+			if a.idKey < b.idKey {
+				return -1
+			}
+			return 1
+		}
+		return bytes.Compare(a.idHash[:], b.idHash[:])
+	})
+	for _, e := range batch {
+		e.Index = uint64(len(l.entries))
+		l.tree.AppendLeafHash(e.leafHash)
+		l.entries = append(l.entries, e)
+		l.byLeafHash[e.leafHash] = e.Index
+	}
+	return len(batch)
+}
+
+// PendingCount reports how many accepted submissions are staged but not
+// yet sequenced.
+func (l *Log) PendingCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.staged)
+}
+
+// RunSequencer sequences and publishes on a wall-clock ticker until ctx
+// is done — the production mode, where the interval is chosen well
+// inside the MMD. A non-positive interval is rejected (there is no
+// "sequence continuously" mode; pick a small interval instead). On
+// cancellation it performs one final sequence and publish so no
+// accepted submission is left staged, then returns ctx.Err().
+func (l *Log) RunSequencer(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		return errors.New("ctlog: sequencer interval must be positive")
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if _, err := l.PublishSTH(); err != nil {
+				return err
+			}
+			return ctx.Err()
+		case <-ticker.C:
+			if _, err := l.PublishSTH(); err != nil {
+				return err
+			}
+		}
+	}
+}

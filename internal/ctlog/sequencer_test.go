@@ -1,0 +1,232 @@
+package ctlog
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ctrise/internal/sct"
+)
+
+// Sequencing must produce the identical tree regardless of the order in
+// which submissions were staged: the canonical (timestamp, identity-hash)
+// batch order makes the tree a function of the submission set.
+func TestSequenceCanonicalOrder(t *testing.T) {
+	certs := make([][]byte, 64)
+	for i := range certs {
+		certs[i] = []byte(fmt.Sprintf("canonical-cert-%02d", i))
+	}
+
+	build := func(order []int) [32]byte {
+		l, _ := newTestLog(t, Config{})
+		for _, i := range order {
+			if _, err := l.AddChain(certs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := l.Sequence(); n != len(certs) {
+			t.Fatalf("sequenced %d, want %d", n, len(certs))
+		}
+		sth, err := l.PublishSTH()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sth.TreeHead.RootHash
+	}
+
+	forward := make([]int, len(certs))
+	reverse := make([]int, len(certs))
+	shuffled := make([]int, len(certs))
+	for i := range certs {
+		forward[i] = i
+		reverse[i] = len(certs) - 1 - i
+		shuffled[i] = (i * 37) % len(certs) // 37 coprime to 64: a permutation
+	}
+	want := build(forward)
+	if got := build(reverse); got != want {
+		t.Fatal("reverse staging order changed the tree root")
+	}
+	if got := build(shuffled); got != want {
+		t.Fatal("shuffled staging order changed the tree root")
+	}
+}
+
+// Entries staged across publishes sequence in timestamp order within
+// each batch, and indices are assigned contiguously batch after batch.
+func TestSequenceAssignsContiguousIndices(t *testing.T) {
+	l, clk := newTestLog(t, Config{})
+	for batch := 0; batch < 3; batch++ {
+		for i := 0; i < 5; i++ {
+			if _, err := l.AddChain([]byte(fmt.Sprintf("b%d-%d", batch, i))); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(time.Second)
+		}
+		if _, err := l.PublishSTH(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := l.GetEntries(0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 15 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i, e := range entries {
+		if e.Index != uint64(i) {
+			t.Fatalf("entry %d has index %d", i, e.Index)
+		}
+		if i > 0 && e.Timestamp < entries[i-1].Timestamp {
+			t.Fatalf("entry %d timestamp regresses (%d after %d)", i, e.Timestamp, entries[i-1].Timestamp)
+		}
+	}
+}
+
+// Concurrent submitters racing on overlapping certificate sets must
+// dedupe exactly: one staged entry per distinct certificate, every
+// duplicate answered with the original timestamp. Run under -race this
+// also proves the lock-free hash/sign paths don't race the sequencer.
+func TestStagedDedupeUnderConcurrency(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	const (
+		workers = 8
+		uniques = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	sequenced := make(chan struct{})
+	// A sequencer races the submitters, draining partial batches.
+	go func() {
+		defer close(sequenced)
+		for i := 0; i < 50; i++ {
+			l.Sequence()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every worker submits the full set, offset so workers
+			// collide on different certs at different times.
+			for i := 0; i < uniques; i++ {
+				cert := []byte(fmt.Sprintf("shared-cert-%03d", (i+w*17)%uniques))
+				if _, err := l.AddChain(cert); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-sequenced
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	l.Sequence()
+	if l.TreeSize() != uniques {
+		t.Fatalf("tree size = %d, want %d (dedupe failed under concurrency)", l.TreeSize(), uniques)
+	}
+	if l.PendingCount() != 0 {
+		t.Fatalf("pending = %d after final sequence", l.PendingCount())
+	}
+	// Resubmitting now must hit the sequenced dedupe record, not stage.
+	if _, err := l.AddChain([]byte("shared-cert-000")); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingCount() != 0 {
+		t.Fatal("duplicate of sequenced entry was staged again")
+	}
+}
+
+// RunSequencer drains on its ticker and performs a final publish on
+// cancellation, so no accepted submission is left staged.
+func TestRunSequencerDrainsOnCancel(t *testing.T) {
+	l, err := New(Config{
+		Name:   "ticker log",
+		Signer: sct.NewFastSigner("ticker log"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.RunSequencer(ctx, time.Millisecond) }()
+	for i := 0; i < 20; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("ticked-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the ticker has published at least once.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.STH().TreeHead.TreeSize == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sequencer never published")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("RunSequencer returned %v", err)
+	}
+	if l.PendingCount() != 0 {
+		t.Fatalf("pending = %d after cancellation drain", l.PendingCount())
+	}
+	if got := l.STH().TreeHead.TreeSize; got != 20 {
+		t.Fatalf("published size = %d, want 20", got)
+	}
+}
+
+// flakySigner wraps a LogSigner and fails CreateSCT on demand.
+type flakySigner struct {
+	sct.LogSigner
+	fail bool
+}
+
+var errSignerDown = fmt.Errorf("signer down")
+
+func (f *flakySigner) CreateSCT(ts uint64, entry sct.CertificateEntry) (*sct.SignedCertificateTimestamp, error) {
+	if f.fail {
+		return nil, errSignerDown
+	}
+	return f.LogSigner.CreateSCT(ts, entry)
+}
+
+// A signing failure must roll the staged entry back: the tree never
+// integrates an entry whose submitter received no SCT, the dedupe record
+// disappears, and the capacity token is refunded.
+func TestSigningFailureRollsBackStage(t *testing.T) {
+	signer := &flakySigner{LogSigner: sct.NewFastSigner("flaky log")}
+	clk := newClock()
+	l, err := New(Config{Name: "flaky log", Signer: signer, Clock: clk.Now, CapacityPerSecond: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := []byte("rolled-back cert")
+	signer.fail = true
+	if _, err := l.AddChain(cert); err == nil {
+		t.Fatal("signing failure not surfaced")
+	}
+	if l.PendingCount() != 0 {
+		t.Fatalf("pending = %d after failed submission", l.PendingCount())
+	}
+	if l.Sequence(); l.TreeSize() != 0 {
+		t.Fatalf("tree integrated %d entries from a failed submission", l.TreeSize())
+	}
+	// Recovery: the same cert resubmits cleanly (no stale dedupe record
+	// answering with a phantom entry) and the refunded token plus the
+	// remaining one cover both burst submissions.
+	signer.fail = false
+	if _, err := l.AddChain(cert); err != nil {
+		t.Fatalf("resubmission after recovery: %v", err)
+	}
+	if _, err := l.AddChain([]byte("second burst cert")); err != nil {
+		t.Fatalf("token not refunded: %v", err)
+	}
+	if l.Sequence(); l.TreeSize() != 2 {
+		t.Fatalf("tree size = %d, want 2", l.TreeSize())
+	}
+}

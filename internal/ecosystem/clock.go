@@ -14,11 +14,13 @@
 //
 // The generation side fans out the same way on the deterministic
 // fan-out layer in partition.go (index-range chunking, splitmix64
-// seed-splitting, ordered merges): RunTimeline plans and constructs
-// each day's certificates on workers and commits submissions per log in
-// sequential order, so log trees are byte-identical at any worker
-// count. The layer is shared by the tlsmon traffic replay and the
-// scanner sweep.
+// seed-splitting, ordered merges): RunTimeline pipelines timeline days
+// — day d+1 is planned and constructed on a lookahead goroutine while
+// day d's submissions stage into the logs from all workers at once —
+// and closes each day with one deterministic sequence+publish step per
+// log, whose canonical batch order keeps log trees byte-identical at
+// any worker count. The layer is shared by the tlsmon traffic replay
+// and the scanner sweep.
 package ecosystem
 
 import (

@@ -297,3 +297,36 @@ func TestSuffixForDistribution(t *testing.T) {
 		t.Fatal("tail suffixes unrepresented")
 	}
 }
+
+// The sparse early timeline is mostly empty days (no CA issues anything
+// at simulation scale). The pipelined replay must flow such days
+// through the construct → commit stages without tripping on the absent
+// preps, and still publish an STH per log per day.
+func TestTimelineEmptyDaysPipelined(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		w, err := New(Config{
+			Seed:          9,
+			Scale:         1e-4,
+			TimelineStart: Date(2015, 1, 1),
+			TimelineEnd:   Date(2015, 1, 8),
+			NumDomains:    500,
+			Parallelism:   p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		days := 0
+		if err := w.RunTimeline(func(time.Time) { days++ }); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if days != 7 {
+			t.Fatalf("parallelism %d: days = %d", p, days)
+		}
+		for _, name := range w.LogNames {
+			sth := w.Logs[name].STH()
+			if got := time.UnixMilli(int64(sth.TreeHead.Timestamp)).UTC(); !got.Equal(Date(2015, 1, 8)) {
+				t.Fatalf("parallelism %d: %s final STH at %v", p, name, got)
+			}
+		}
+	}
+}

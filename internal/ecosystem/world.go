@@ -144,8 +144,8 @@ func (w *World) DomainRNG(domain string) *rand.Rand {
 	return NewRand(DeriveSeed(w.Cfg.Seed, SaltString(domain)))
 }
 
-// minParallelDayIssuances is the day size below which the replay commits
-// inline: fanning out a handful of issuances costs more in goroutine
+// minParallelDayIssuances is the day size below which the replay stages
+// inline: fanning a handful of submissions out costs more in goroutine
 // startup than it saves. The pre-2018 timeline is almost entirely such
 // days; the March–May 2018 ramp (the bulk of the total work) is far
 // above it.
@@ -158,19 +158,31 @@ type issuancePlan struct {
 	policy []string
 }
 
+// dayWork is one fully constructed timeline day flowing through the
+// plan/construct → commit pipeline.
+type dayWork struct {
+	day   time.Time
+	plans [][]issuancePlan
+	preps [][]*ca.Prepared
+}
+
 // RunTimeline replays the issuance timeline day by day: every CA issues
 // at its model's (scaled) rate through its log policy, names drawn from
-// the domain population under the Table 2 label model. STHs are published
-// at the end of each day. onDay, if non-nil, observes each completed day.
+// the domain population under the Table 2 label model. Each log is
+// sequenced and publishes an STH at the end of each day (the virtual
+// MMD boundary). onDay, if non-nil, observes each completed day.
 //
-// Within each day the replay fans out over Config.Parallelism workers
-// (GOMAXPROCS when 0) in two phases: certificate construction runs on
-// workers with serial numbers reserved per CA up front, then the log
-// submissions commit with one worker per log, each log receiving its
-// entries in the order the sequential path would have produced. Because
-// every per-(day, CA) RNG is already derived from the seed and the
-// day/CA identity, log contents — entry order, bytes, and tree hashes —
-// are identical at every parallelism setting.
+// With Config.Parallelism != 1 the replay is a two-stage pipeline. A
+// lookahead goroutine plans day d+1's draws (per-(day, CA) seed-split
+// RNGs) and constructs its certificates on workers — serial blocks
+// reserved per CA up front, issuance time passed explicitly so the
+// shared clock is untouched — while the commit stage stages day d's
+// submissions into the logs from all workers at once and then runs one
+// deterministic sequence+publish step per log. Staging order is
+// irrelevant: the log sequencer integrates each day's batch in
+// canonical (timestamp, identity-hash) order, so log contents — entry
+// bytes and tree hashes — are identical at every parallelism setting
+// and at any scheduling.
 //
 // The Nimbus overload replay (Config.NimbusCapacity > 0) couples
 // submissions across logs — a rejected submission aborts the rest of its
@@ -183,7 +195,7 @@ func (w *World) RunTimeline(onDay func(day time.Time)) error {
 	if w.Cfg.NimbusCapacity > 0 {
 		parallelism = 1
 	}
-	// The grouped commit only submits precertificates; a CA that also
+	// The staged commit only submits precertificates; a CA that also
 	// logs final certificates needs the full per-issuance Issue flow to
 	// stay equivalent, so its presence forces the sequential path too.
 	// (World-built CAs never set it; this guards externally mutated
@@ -194,23 +206,81 @@ func (w *World) RunTimeline(onDay func(day time.Time)) error {
 			break
 		}
 	}
-	day := w.Cfg.TimelineStart
-	for day.Before(w.Cfg.TimelineEnd) {
-		// Noon, so all issuance timestamps fall on the correct day.
-		w.Clock.Set(day.Add(12 * time.Hour))
-		if err := w.runTimelineDay(day, parallelism); err != nil {
-			return err
-		}
-		w.Clock.Set(day.Add(24 * time.Hour))
-		for _, name := range w.LogNames {
-			if _, err := w.Logs[name].PublishSTH(); err != nil {
+
+	if parallelism == 1 {
+		for day := w.Cfg.TimelineStart; day.Before(w.Cfg.TimelineEnd); day = day.AddDate(0, 0, 1) {
+			// Noon, so all issuance timestamps fall on the correct day.
+			w.Clock.Set(day.Add(12 * time.Hour))
+			if err := w.issueDaySequential(day); err != nil {
+				return err
+			}
+			if err := w.finishDay(day, onDay); err != nil {
 				return err
 			}
 		}
-		if onDay != nil {
-			onDay(day)
+		return nil
+	}
+
+	// Pipelined path. The unbuffered channel gives a lookahead of
+	// exactly one day: the producer constructs day d+1 while the
+	// consumer commits day d (the last serialization the per-day
+	// barrier used to impose). Serial blocks are reserved inside
+	// constructTimelineDay on the producer goroutine, so reservation
+	// order follows day order and certificate bytes stay deterministic.
+	//
+	// The Parallelism budget is split between the two overlapping
+	// stages (construction gets the larger half — certificate building
+	// outweighs staging) so the pipeline never runs more than the
+	// configured number of workers at once; worker counts never affect
+	// output, only scheduling.
+	constructWorkers := (parallelism + 1) / 2
+	commitWorkers := parallelism - constructWorkers
+	if commitWorkers < 1 {
+		commitWorkers = 1
+	}
+	work := make(chan dayWork)
+	done := make(chan struct{})
+	defer close(done)
+	var constructErr error
+	go func() {
+		defer close(work)
+		for day := w.Cfg.TimelineStart; day.Before(w.Cfg.TimelineEnd); day = day.AddDate(0, 0, 1) {
+			dw, err := w.constructTimelineDay(day, constructWorkers)
+			if err != nil {
+				constructErr = fmt.Errorf("ecosystem: planning %s: %w", day.Format("2006-01-02"), err)
+				return
+			}
+			select {
+			case work <- dw:
+			case <-done:
+				return
+			}
 		}
-		day = day.AddDate(0, 0, 1)
+	}()
+	for dw := range work {
+		if err := w.commitTimelineDay(dw, commitWorkers); err != nil {
+			return err
+		}
+		if err := w.finishDay(dw.day, onDay); err != nil {
+			return err
+		}
+	}
+	return constructErr
+}
+
+// finishDay advances the clock to the day boundary, sequences and
+// publishes every log's STH, and notifies the observer. Publishing
+// every log every day (touched or not) keeps STH timestamps advancing
+// the way the pre-pipeline replay did.
+func (w *World) finishDay(day time.Time, onDay func(day time.Time)) error {
+	w.Clock.Set(day.Add(24 * time.Hour))
+	for _, name := range w.LogNames {
+		if _, err := w.Logs[name].PublishSTH(); err != nil {
+			return err
+		}
+	}
+	if onDay != nil {
+		onDay(day)
 	}
 	return nil
 }
@@ -242,66 +312,74 @@ func (w *World) planTimelineDay(day time.Time, spec CASpec) []issuancePlan {
 	return plans
 }
 
-// runTimelineDay executes one day's issuances. The clock is already at
-// noon of the day.
-func (w *World) runTimelineDay(day time.Time, workers int) error {
-	// Phase 0: draws. Each (day, CA) stream is private, so CAs plan
-	// concurrently.
-	plans := make([][]issuancePlan, len(w.Specs))
+// issueDaySequential executes one day's issuances in (CA, order)
+// sequence through the full Issue flow, exactly the pre-parallel
+// replay. The clock is already at noon of the day. This is the only
+// path that honours the overload coupling: an ErrOverloaded submission
+// drops the rest of its issuance (the CA retries nothing, which is what
+// the Nimbus incident looked like from the outside); all other errors
+// are fatal. Submissions stage in plan order and integrate at the day's
+// sequence step — the same canonical order the staged fan-out produces,
+// which is what keeps the two paths byte-identical.
+func (w *World) issueDaySequential(day time.Time) error {
+	embed := !day.Before(Date(2018, 1, 1))
+	for _, spec := range w.Specs {
+		caInst := w.CAs[spec.Org]
+		for _, pl := range w.planTimelineDay(day, spec) {
+			_, err := caInst.Issue(ca.Request{
+				Names:     pl.names,
+				EmbedSCTs: embed,
+				Logs:      w.submitters(pl.policy),
+			})
+			if err != nil {
+				if errors.Is(err, ctlog.ErrOverloaded) {
+					continue
+				}
+				return fmt.Errorf("ecosystem: %s on %s: %w", spec.Org, day.Format("2006-01-02"), err)
+			}
+		}
+	}
+	return nil
+}
+
+// constructTimelineDay runs the plan and construct phases of one day
+// without touching the shared clock, so it can execute on the pipeline's
+// lookahead goroutine while the previous day commits.
+//
+// Draws: each (day, CA) stream is private, so CAs plan concurrently.
+// Construction: serial blocks are reserved per CA in spec order on the
+// calling goroutine, so the i-th issuance of a CA's day gets the same
+// serial the sequential path would have drawn; workers then build
+// certificates for arbitrary plan indices with the issuance time passed
+// explicitly (noon of the day). The constructed bytes are independent
+// of worker scheduling and of whatever day the clock currently shows.
+// (This path skips final-certificate assembly — the timeline only keeps
+// what reaches the logs.)
+func (w *World) constructTimelineDay(day time.Time, workers int) (dayWork, error) {
+	dw := dayWork{day: day, plans: make([][]issuancePlan, len(w.Specs))}
 	ForEach(len(w.Specs), workers, func(si int) {
-		plans[si] = w.planTimelineDay(day, w.Specs[si])
+		dw.plans[si] = w.planTimelineDay(day, w.Specs[si])
 	})
 	total := 0
-	for _, l := range plans {
+	for _, l := range dw.plans {
 		total += len(l)
 	}
 	if total == 0 {
-		return nil
+		return dw, nil
 	}
 	embed := !day.Before(Date(2018, 1, 1))
+	noon := day.Add(12 * time.Hour)
 
-	if workers == 1 || total < minParallelDayIssuances {
-		// In-line path: issue in (CA, order) sequence, exactly the
-		// pre-parallel replay. This is also the only path that honours
-		// the overload coupling: an ErrOverloaded submission drops the
-		// rest of its issuance (the CA retries nothing, which is what
-		// the Nimbus incident looked like from the outside); all other
-		// errors are fatal.
-		for si, spec := range w.Specs {
-			caInst := w.CAs[spec.Org]
-			for _, pl := range plans[si] {
-				_, err := caInst.Issue(ca.Request{
-					Names:     pl.names,
-					EmbedSCTs: embed,
-					Logs:      w.submitters(pl.policy),
-				})
-				if err != nil {
-					if errors.Is(err, ctlog.ErrOverloaded) {
-						continue
-					}
-					return fmt.Errorf("ecosystem: %s on %s: %w", spec.Org, day.Format("2006-01-02"), err)
-				}
-			}
-		}
-		return nil
-	}
-
-	// Phase 1: construction. Serial blocks are reserved per CA in spec
-	// order on this goroutine, so the i-th issuance of a CA's day gets
-	// the same serial the sequential path would have drawn; workers then
-	// build certificates for arbitrary plan indices without affecting
-	// the bytes. (The parallel path skips final-certificate assembly —
-	// the timeline only keeps what reaches the logs.)
 	type flatRef struct{ si, i int }
 	flat := make([]flatRef, 0, total)
 	bases := make([]uint64, len(w.Specs))
-	preps := make([][]*ca.Prepared, len(w.Specs))
+	dw.preps = make([][]*ca.Prepared, len(w.Specs))
 	for si := range w.Specs {
-		n := len(plans[si])
+		n := len(dw.plans[si])
 		if n > 0 {
 			bases[si] = w.CAs[w.Specs[si].Org].ReserveSerials(uint64(n))
 		}
-		preps[si] = make([]*ca.Prepared, n)
+		dw.preps[si] = make([]*ca.Prepared, n)
 		for i := 0; i < n; i++ {
 			flat = append(flat, flatRef{si, i})
 		}
@@ -309,60 +387,62 @@ func (w *World) runTimelineDay(day time.Time, workers int) error {
 	var prepErr FirstError
 	ForEach(len(flat), workers, func(k int) {
 		ref := flat[k]
-		pl := plans[ref.si][ref.i]
+		pl := dw.plans[ref.si][ref.i]
 		caInst := w.CAs[w.Specs[ref.si].Org]
-		p, err := caInst.PrepareSerial(ca.Request{Names: pl.names, EmbedSCTs: embed}, bases[ref.si]+uint64(ref.i))
+		p, err := caInst.PrepareSerialAt(ca.Request{Names: pl.names, EmbedSCTs: embed}, bases[ref.si]+uint64(ref.i), noon)
 		if err != nil {
 			prepErr.Record(k, err)
 			return
 		}
-		preps[ref.si][ref.i] = p
+		dw.preps[ref.si][ref.i] = p
 	})
-	if err := prepErr.Err(); err != nil {
-		return fmt.Errorf("ecosystem: planning %s: %w", day.Format("2006-01-02"), err)
-	}
+	return dw, prepErr.Err()
+}
 
-	// Phase 2: commit, one worker per log. Grouping iterates specs,
-	// issuances, and policy entries in plan order, so each log's
-	// submission sequence — and therefore its Merkle tree — matches the
-	// sequential path entry for entry.
-	perLog := make(map[string][]*ca.Prepared)
-	for si := range w.Specs {
-		for i, p := range preps[si] {
-			for _, logName := range plans[si][i].policy {
-				if _, ok := w.Logs[logName]; ok {
-					perLog[logName] = append(perLog[logName], p)
+// commitTimelineDay stages one constructed day into the logs. The
+// submissions fan out over workers with no per-log ordering at all —
+// every worker stages into whichever log its (prepared, log) pair
+// names, and the sequencer's canonical batch order (applied by
+// finishDay's PublishSTH) makes the integrated tree independent of the
+// staging interleaving.
+func (w *World) commitTimelineDay(dw dayWork, workers int) error {
+	w.Clock.Set(dw.day.Add(12 * time.Hour))
+	type submission struct {
+		p   *ca.Prepared
+		log *ctlog.Log
+	}
+	// Empty days (the sparse early timeline) carry no preps at all.
+	var subs []submission
+	for si := range dw.preps {
+		for i, p := range dw.preps[si] {
+			for _, logName := range dw.plans[si][i].policy {
+				if l, ok := w.Logs[logName]; ok {
+					subs = append(subs, submission{p, l})
 				}
 			}
 		}
 	}
-	touched := make([]string, 0, len(perLog))
-	for _, name := range w.LogNames {
-		if len(perLog[name]) > 0 {
-			touched = append(touched, name)
-		}
+	if len(subs) < minParallelDayIssuances {
+		workers = 1
 	}
 	var commitErr FirstError
-	ForEach(len(touched), workers, func(li int) {
-		l := w.Logs[touched[li]]
-		for _, p := range perLog[touched[li]] {
-			if _, err := l.AddPreChain(p.IssuerKeyHash(), p.TBS()); err != nil {
-				// Overload cannot be replicated here: the sequential path
-				// drops the *rest of the issuance* across logs, which a
-				// per-log commit cannot see. Config.NimbusCapacity gates
-				// to the sequential path already; a capacity configured
-				// on a log by other means must do the same, so fail
-				// loudly instead of silently diverging.
-				if errors.Is(err, ctlog.ErrOverloaded) {
-					err = fmt.Errorf("%s is capacity-limited; the parallel timeline cannot replay overload drops — run with Parallelism=1: %w", touched[li], err)
-				}
-				commitErr.Record(li, err)
-				return
+	ForEach(len(subs), workers, func(i int) {
+		s := subs[i]
+		if _, err := s.log.AddPreChain(s.p.IssuerKeyHash(), s.p.TBS()); err != nil {
+			// Overload cannot be replicated here: the sequential path
+			// drops the *rest of the issuance* across logs, which a
+			// staged fan-out cannot see. Config.NimbusCapacity gates to
+			// the sequential path already; a capacity configured on a
+			// log by other means must do the same, so fail loudly
+			// instead of silently diverging.
+			if errors.Is(err, ctlog.ErrOverloaded) {
+				err = fmt.Errorf("%s is capacity-limited; the pipelined timeline cannot replay overload drops — run with Parallelism=1: %w", s.log.Name(), err)
 			}
+			commitErr.Record(i, err)
 		}
 	})
 	if err := commitErr.Err(); err != nil {
-		return fmt.Errorf("ecosystem: committing %s: %w", day.Format("2006-01-02"), err)
+		return fmt.Errorf("ecosystem: committing %s: %w", dw.day.Format("2006-01-02"), err)
 	}
 	return nil
 }

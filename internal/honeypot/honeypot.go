@@ -114,10 +114,12 @@ func (h *Honeypot) Deploy(label string) (*Subdomain, error) {
 	}
 	_ = iss
 	sub.CTLogTime = h.clock.Now()
-	sub.LogIndex = h.log.TreeSize() - 1
+	// The precert is staged; publishing sequences it, after which its
+	// index is the last of the tree.
 	if _, err := h.log.PublishSTH(); err != nil {
 		return nil, err
 	}
+	sub.LogIndex = h.log.TreeSize() - 1
 	h.Subs = append(h.Subs, sub)
 	return sub, nil
 }

@@ -86,15 +86,20 @@ func TestGenerateParallelEquivalence(t *testing.T) {
 	}
 }
 
-// TestRunTimelineParallelEquivalence proves the issuance replay commits
-// identical log contents — per-log entry counts, tree root hashes, and
-// day ordering — at any parallelism.
+// TestRunTimelineParallelEquivalence proves the staged/pipelined
+// issuance replay commits identical log contents — per-log entry
+// counts, tree root hashes, and the full per-day STH trajectory (size
+// and root at every day boundary, in day order) — at any parallelism.
+// The per-day trajectory is the strong form: it proves not only that
+// the final trees agree but that every day's sequenced batch was
+// identical, i.e. the pipeline's day overlap and the sequencer's
+// canonical batch order never move an entry across an STH boundary.
 func TestRunTimelineParallelEquivalence(t *testing.T) {
-	type logState struct {
+	type sthState struct {
 		Size uint64
 		Root [32]byte
 	}
-	build := func(p int) (map[string]logState, []time.Time) {
+	build := func(p int) (map[string][]sthState, []time.Time) {
 		w, err := ecosystem.New(ecosystem.Config{
 			Seed:          42,
 			Scale:         1e-4,
@@ -107,20 +112,30 @@ func TestRunTimelineParallelEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		var days []time.Time
-		if err := w.RunTimeline(func(d time.Time) { days = append(days, d) }); err != nil {
+		trajectory := make(map[string][]sthState, len(w.Logs))
+		if err := w.RunTimeline(func(d time.Time) {
+			days = append(days, d)
+			for _, name := range w.LogNames {
+				sth := w.Logs[name].STH()
+				trajectory[name] = append(trajectory[name], sthState{
+					Size: sth.TreeHead.TreeSize,
+					Root: sth.TreeHead.RootHash,
+				})
+			}
+		}); err != nil {
 			t.Fatal(err)
 		}
-		states := make(map[string]logState, len(w.Logs))
 		for _, name := range w.LogNames {
-			sth := w.Logs[name].STH()
-			states[name] = logState{Size: sth.TreeHead.TreeSize, Root: sth.TreeHead.RootHash}
+			if w.Logs[name].PendingCount() != 0 {
+				t.Fatalf("parallelism %d: %s left entries staged after the replay", p, name)
+			}
 		}
-		return states, days
+		return trajectory, days
 	}
-	wantStates, wantDays := build(replayParallelisms[0])
+	wantTraj, wantDays := build(replayParallelisms[0])
 	var total uint64
-	for _, st := range wantStates {
-		total += st.Size
+	for _, states := range wantTraj {
+		total += states[len(states)-1].Size
 	}
 	if total == 0 {
 		t.Fatal("sequential replay produced no entries")
@@ -129,17 +144,24 @@ func TestRunTimelineParallelEquivalence(t *testing.T) {
 		t.Fatalf("days = %d", len(wantDays))
 	}
 	for _, p := range replayParallelisms[1:] {
-		gotStates, gotDays := build(p)
+		gotTraj, gotDays := build(p)
 		if !reflect.DeepEqual(wantDays, gotDays) {
 			t.Fatalf("parallelism %d day ordering differs", p)
 		}
-		for name, want := range wantStates {
-			got := gotStates[name]
-			if want.Size != got.Size {
-				t.Fatalf("parallelism %d: %s has %d entries, want %d", p, name, got.Size, want.Size)
+		for name, want := range wantTraj {
+			got := gotTraj[name]
+			if len(got) != len(want) {
+				t.Fatalf("parallelism %d: %s has %d STHs, want %d", p, name, len(got), len(want))
 			}
-			if want.Root != got.Root {
-				t.Fatalf("parallelism %d: %s root hash differs at size %d", p, name, want.Size)
+			for di := range want {
+				if want[di].Size != got[di].Size {
+					t.Fatalf("parallelism %d: %s day %s has %d entries, want %d",
+						p, name, wantDays[di].Format("2006-01-02"), got[di].Size, want[di].Size)
+				}
+				if want[di].Root != got[di].Root {
+					t.Fatalf("parallelism %d: %s root hash differs at day %s (size %d)",
+						p, name, wantDays[di].Format("2006-01-02"), want[di].Size)
+				}
 			}
 		}
 	}
