@@ -1,9 +1,10 @@
 // Command ctlogd runs a standalone RFC 6962 Certificate Transparency log
-// over HTTP, with an ECDSA P-256 signing key generated at startup.
+// over HTTP.
 //
 // Usage:
 //
-//	ctlogd [-addr 127.0.0.1:8764] [-name "Dev Log"] [-capacity N] [-sequence 1s]
+//	ctlogd [-addr 127.0.0.1:8764] [-name "Dev Log"] [-capacity N]
+//	       [-sequence 1s] [-data-dir DIR] [-snapshot-every N]
 //
 // The ct/v1 endpoints (add-chain, add-pre-chain, get-sth,
 // get-sth-consistency, get-proof-by-hash, get-entries) are served under
@@ -12,18 +13,37 @@
 // sets the batch interval at which staged submissions are integrated
 // into the Merkle tree and a fresh STH published — production logs run
 // the same loop well inside their MMD.
+//
+// Without -data-dir the log is in-memory with an ephemeral ECDSA P-256
+// key generated at startup. With -data-dir the log is durable: the
+// signing key is created once and persisted in DIR/key.der, every
+// accepted submission is fsynced to a write-ahead log before its SCT is
+// returned, and sequencing/publication checkpoints are fsynced so a
+// killed and restarted ctlogd serves the same STH and entries it served
+// before the crash. On SIGINT/SIGTERM the server drains, performs a
+// final sequence+publish, and writes a full snapshot so the next start
+// recovers without replaying the whole WAL.
 package main
 
 import (
 	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"ctrise/internal/ctlog"
+	"ctrise/internal/ctlog/storage"
 	"ctrise/internal/sct"
 )
 
@@ -33,32 +53,51 @@ func main() {
 	operator := flag.String("operator", "ctrise", "log operator")
 	capacity := flag.Float64("capacity", 0, "max submissions/second (0 = unlimited)")
 	interval := flag.Duration("sequence", time.Second, "sequencer batch interval (integrate staged entries + publish STH; must be positive)")
+	dataDir := flag.String("data-dir", "", "durable state directory (WAL + snapshots + signing key); empty = in-memory")
+	snapshotEvery := flag.Int("snapshot-every", 0, "full snapshot after this many newly sequenced entries (0 = default 4096, negative = only at shutdown); requires -data-dir")
 	flag.Parse()
 	if *interval <= 0 {
 		log.Fatal("ctlogd: -sequence must be a positive duration")
 	}
 
-	signer, err := sct.NewSigner(nil)
-	if err != nil {
-		log.Fatalf("generating log key: %v", err)
-	}
-	l, err := ctlog.New(ctlog.Config{
+	cfg := ctlog.Config{
 		Name:              *name,
 		Operator:          *operator,
-		Signer:            signer,
 		CapacityPerSecond: *capacity,
-	})
-	if err != nil {
-		log.Fatalf("creating log: %v", err)
+		SnapshotEvery:     *snapshotEvery,
+	}
+	var l *ctlog.Log
+	if *dataDir != "" {
+		signer, err := loadOrCreateSigner(*dataDir)
+		if err != nil {
+			log.Fatalf("log key: %v", err)
+		}
+		cfg.Signer = signer
+		if l, err = ctlog.Open(*dataDir, cfg); err != nil {
+			log.Fatalf("opening durable log: %v", err)
+		}
+	} else {
+		signer, err := sct.NewSigner(nil)
+		if err != nil {
+			log.Fatalf("generating log key: %v", err)
+		}
+		cfg.Signer = signer
+		if l, err = ctlog.New(cfg); err != nil {
+			log.Fatalf("creating log: %v", err)
+		}
 	}
 
 	// The sequencer ticker integrates staged submissions and publishes
 	// fresh STHs, so reads serve the latest sequenced batch and monitors
-	// see progress without any per-request publishing.
+	// see progress without any per-request publishing. Its context is
+	// cut by SIGINT/SIGTERM; RunSequencer performs one final
+	// sequence+publish on the way out, so shutdown never strands an
+	// acknowledged submission outside the tree.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	seqDone := make(chan error, 1)
 	go func() {
-		if err := l.RunSequencer(context.Background(), *interval); err != nil && err != context.Canceled {
-			log.Fatalf("sequencer: %v", err)
-		}
+		seqDone <- l.RunSequencer(ctx, *interval)
 	}()
 
 	mux := http.NewServeMux()
@@ -67,10 +106,122 @@ func main() {
 		fmt.Fprintf(w, "%s (%s)\nlog id: %s\ntree size: %d (staged: %d)\n",
 			l.Name(), l.Operator(), l.LogID(), l.TreeSize(), l.PendingCount())
 	})
+	server := &http.Server{Addr: *addr, Handler: mux}
+	httpDone := make(chan error, 1)
+	go func() {
+		httpDone <- server.ListenAndServe()
+	}()
 
-	fmt.Fprintf(os.Stderr, "ctlogd: %s listening on http://%s (log id %s, sequencing every %s)\n",
-		*name, *addr, l.LogID(), *interval)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		log.Fatal(err)
+	mode := "in-memory"
+	if *dataDir != "" {
+		mode = "durable in " + *dataDir
 	}
+	fmt.Fprintf(os.Stderr, "ctlogd: %s listening on http://%s (log id %s, sequencing every %s, %s)\n",
+		*name, *addr, l.LogID(), *interval, mode)
+
+	// Drain in order: stop accepting HTTP work, let the sequencer's
+	// final publish land, then snapshot and close the store. seqDone is
+	// nil when the sequencer's exit was already consumed by the select.
+	drain := func(seqDone <-chan error) {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		server.Shutdown(shutCtx)
+		if seqDone != nil {
+			if err := <-seqDone; err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("ctlogd: final sequence: %v", err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			log.Fatalf("ctlogd: closing log: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "ctlogd: shut down cleanly")
+	}
+
+	select {
+	case err := <-httpDone:
+		log.Fatal(err)
+	case err := <-seqDone:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatalf("sequencer: %v", err)
+		}
+		// Canceled: the signal landed and the sequencer's exit won the
+		// select race against ctx.Done(); drain exactly as below.
+		drain(nil)
+	case <-ctx.Done():
+		drain(seqDone)
+	}
+}
+
+// loadOrCreateSigner returns the durable log's ECDSA P-256 signer,
+// creating and persisting the key on first start. The key file is the
+// log's identity: losing it orphans the log (recovery refuses to serve
+// STHs it cannot verify), so its creation must be durable (fsynced file
+// + directory entry, or a power loss orphans every fsynced record) AND
+// exclusive (two racing first-starts must converge on ONE key — a
+// last-rename-wins overwrite would leave the survivor signing with a
+// key that is not the one on disk, bricking the next restart). The
+// hard link gives both: link(2) fails with EEXIST if someone else won,
+// in which case their key is adopted.
+func loadOrCreateSigner(dir string) (*sct.Signer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "key.der")
+	read := func() (*sct.Signer, error) {
+		der, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		priv, err := x509.ParseECPrivateKey(der)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return sct.NewSignerFromKey(priv), nil
+	}
+	if s, err := read(); err == nil {
+		return s, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	der, err := x509.MarshalECPrivateKey(priv)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp(dir, "key.der.tmp*")
+	if err != nil {
+		return nil, err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if _, err := tmp.Write(der); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Link(tmpName, path); err != nil {
+		if os.IsExist(err) {
+			// Lost the creation race: the other process's key is the
+			// log's identity now; use it.
+			return read()
+		}
+		return nil, err
+	}
+	if err := storage.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	return sct.NewSignerFromKey(priv), nil
 }

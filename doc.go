@@ -24,6 +24,18 @@
 // under contention is bounded by a few map operations, not by hashing
 // or signature work (BenchmarkLogAdd measures both architectures).
 //
+// Logs are optionally durable (ctlog.Open): an append-only, checksummed
+// write-ahead log records every accepted submission before its SCT is
+// acknowledged, sequencing fsyncs a seal at each batch boundary,
+// publication fsyncs the signed head before readers see it, and
+// periodic atomic snapshots bound recovery to the WAL tail — so a
+// ctlogd killed mid-sequencing restarts (cmd/ctlogd -data-dir, signing
+// key persisted alongside) to the identical STH and entries, verified
+// by a kill-at-every-byte-offset crash harness. The ecosystem harvest
+// rides the same record codec for checkpoints: a killed crawl resumes
+// gap-free from per-log entry cursors (Harvest.Checkpoint /
+// ecosystem.ResumeHarvest, ctclient.NewMonitorAt for the HTTP side).
+//
 // The harvest-and-analysis data plane is concurrent and sharded: logs
 // expose a lock-free streaming iterator over the immutable prefix below
 // the published STH (ctlog.Log.StreamEntries), the harvester fans

@@ -279,6 +279,25 @@ func NewMonitor(client *Client) *Monitor {
 	return &Monitor{Client: client, Batch: 256}
 }
 
+// NewMonitorAt returns a monitor that resumes from entry index next —
+// the resume index a previous StreamEntries returned or a harvest
+// checkpoint recorded — so a restarted harvester continues gap-free
+// instead of re-fetching (and re-counting) the prefix it already
+// consumed. The first Poll verifies consistency against the log's
+// current STH as usual; full cross-restart fork detection additionally
+// needs the caller to persist and compare tree heads (the ecosystem
+// harvest checkpoint approximates it by refusing to resume a cursor
+// beyond the log's current tree size).
+func NewMonitorAt(client *Client, next uint64) *Monitor {
+	m := NewMonitor(client)
+	m.nextIdx = next
+	return m
+}
+
+// NextIndex returns the first entry index the monitor has not yet
+// delivered — the cursor to persist in a harvest checkpoint.
+func (m *Monitor) NextIndex() uint64 { return m.nextIdx }
+
 // EntriesSeen reports how many entries the monitor has consumed.
 func (m *Monitor) EntriesSeen() uint64 { return m.entries }
 

@@ -153,3 +153,74 @@ func BenchmarkLogAdd(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLogAddDurable measures what durability costs the contended
+// submission path: GOMAXPROCS goroutines flooding one log, staged
+// in-memory (the BenchmarkLogAdd baseline) versus staged+WAL in its two
+// sync policies.
+//
+//	mem:            no store (in-memory staged path, the reference)
+//	wal-sync-each:  every SCT waits for its WAL record's fsync (group
+//	                commit — concurrent submitters amortize one fsync);
+//	                the production posture
+//	wal-sync-seal:  WAL records ride OS buffering; fsync happens at the
+//	                sequencing barrier (bulk-replay posture)
+//
+// The measured window includes the final Sequence (and its seal fsync)
+// so both sides claim fully integrated, durable-where-promised trees.
+func BenchmarkLogAddDurable(b *testing.B) {
+	clock := func() time.Time { return time.Date(2018, 4, 1, 12, 0, 0, 0, time.UTC) }
+	modes := []struct {
+		name    string
+		durable bool
+		sync    SyncPolicy
+	}{
+		{"mem", false, 0},
+		{"wal-sync-each", true, SyncEachSubmission},
+		{"wal-sync-seal", true, SyncAtSequence},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{
+				Name:   "bench log",
+				Signer: sct.NewFastSigner("bench log"),
+				Clock:  clock,
+				Sync:   mode.sync,
+				// No mid-run snapshots: the cost under test is the WAL.
+				SnapshotEvery: -1,
+			}
+			var (
+				l   *Log
+				err error
+			)
+			if mode.durable {
+				l, err = Open(b.TempDir(), cfg)
+			} else {
+				l, err = New(cfg)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.AddChain(benchCert(next.Add(1))); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if _, err := l.Sequence(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if l.TreeSize() != uint64(b.N) {
+				b.Fatalf("tree size = %d, want %d", l.TreeSize(), b.N)
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

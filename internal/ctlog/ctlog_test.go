@@ -70,7 +70,7 @@ func TestAddChainIssuesValidSCT(t *testing.T) {
 	if l.TreeSize() != 0 || l.PendingCount() != 1 {
 		t.Fatalf("tree size = %d, pending = %d", l.TreeSize(), l.PendingCount())
 	}
-	if n := l.Sequence(); n != 1 {
+	if n, _ := l.Sequence(); n != 1 {
 		t.Fatalf("sequenced %d entries", n)
 	}
 	if l.TreeSize() != 1 || l.PendingCount() != 0 {
@@ -392,7 +392,7 @@ func TestConcurrentSubmissions(t *testing.T) {
 	if l.PendingCount() != n {
 		t.Fatalf("pending = %d, want %d", l.PendingCount(), n)
 	}
-	if got := l.Sequence(); got != n {
+	if got, _ := l.Sequence(); got != n {
 		t.Fatalf("sequenced %d, want %d", got, n)
 	}
 	if l.TreeSize() != n {

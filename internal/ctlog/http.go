@@ -90,6 +90,12 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrBadRange), errors.Is(err, merkle.ErrSizeOutOfRange),
 		errors.Is(err, merkle.ErrIndexOutOfRange), errors.Is(err, merkle.ErrEmptyRange):
 		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, ErrPersistence):
+		// The durable store failed; the condition is sticky until the
+		// operator restarts the log, but 503 (not 500) tells well-behaved
+		// submitters this is the log's capacity to accept, not a protocol
+		// error on their side.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

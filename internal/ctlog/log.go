@@ -31,6 +31,40 @@
 // runs RunSequencer on a wall-clock ticker within the MMD, which is the
 // production shape.
 //
+// # Durability
+//
+// New builds an in-memory log; Open builds a durable one over a state
+// directory (internal/ctlog/storage): an append-only, checksummed
+// write-ahead log plus periodic full-state snapshots. The contract, in
+// the order a submission experiences it:
+//
+//   - Ack: the entry's WAL record is appended under the log mutex
+//     (file order = lock order, so a record always precedes the seal
+//     covering it) and — under the default SyncEachSubmission policy —
+//     fsynced before the SCT is returned. An acknowledged submission
+//     survives any crash; the MMD promise is never made on volatile
+//     state. SyncAtSequence defers the fsync to the next barrier for
+//     bulk replays.
+//   - Sequence: after integrating a batch, a seal record (tree size +
+//     root — the snapshot cursor) is appended and fsynced, fixing the
+//     batch boundary and therefore the canonical in-batch order.
+//   - PublishSTH: the signed head is appended and fsynced before
+//     readers can observe it, so a served STH is always recoverable —
+//     with its original signature bytes.
+//   - Snapshot: at publication (every Config.SnapshotEvery sequenced
+//     entries) and on Close, the full state — sequenced entries, staged
+//     batch, root, STH, dedupe index (implied by the entries), WAL
+//     cursor — is written atomically so recovery replays only the tail.
+//
+// Open replays snapshot+tail to byte-identical state, verifying every
+// seal and STH against the rebuilt tree; a torn WAL tail is discarded
+// (crash debris — those submitters were never acked), a corrupt
+// snapshot falls back to full WAL replay, and any semantic divergence
+// fails loudly with storage.ErrCorrupt rather than serve a tree head
+// the durable history cannot reproduce. Duplicates submitted before and
+// after a restart get the original SCT either way, because the dedupe
+// index (staged entries included) is part of the recovered state.
+//
 // The log uses a caller-supplied clock so experiments replay the paper's
 // 2017–2018 timeline deterministically, and an optional capacity limit so
 // overload behaviour (the Nimbus incident discussed in Section 2 and the
@@ -46,6 +80,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ctrise/internal/ctlog/storage"
 	"ctrise/internal/merkle"
 	"ctrise/internal/sct"
 )
@@ -59,6 +94,29 @@ var (
 	ErrNotFound = errors.New("ctlog: leaf hash not found")
 	// ErrBadRange is returned for invalid get-entries/proof parameters.
 	ErrBadRange = errors.New("ctlog: invalid range")
+	// ErrPersistence is returned when a durable log's write-ahead log or
+	// snapshot cannot be written. The failure is sticky: the log keeps
+	// serving reads from memory, but new submissions are refused so no
+	// SCT promise is ever made that a restart could not honor.
+	ErrPersistence = errors.New("ctlog: persistent store failure")
+)
+
+// SyncPolicy selects when a durable log forces its write-ahead log to
+// disk relative to acknowledging submissions.
+type SyncPolicy int
+
+const (
+	// SyncEachSubmission fsyncs the WAL before every SCT is returned
+	// (group commit: concurrent submitters share one fsync). A crash
+	// never loses an acknowledged submission. This is the default and
+	// the production posture.
+	SyncEachSubmission SyncPolicy = iota
+	// SyncAtSequence buffers entry records in the OS and fsyncs only at
+	// sequencing and publication barriers. A crash between barriers can
+	// lose acknowledged-but-unsequenced submissions (never sequenced
+	// state, which is always sealed before an STH covers it). Bulk
+	// replays use it to keep per-submission latency off the fsync path.
+	SyncAtSequence
 )
 
 // Config configures a log instance.
@@ -84,6 +142,16 @@ type Config struct {
 	// CapacityPerSecond, if positive, limits sustained submissions per
 	// second; excess submissions fail with ErrOverloaded.
 	CapacityPerSecond float64
+	// Sync selects the WAL durability point for logs opened with Open.
+	// Ignored by in-memory logs. Defaults to SyncEachSubmission.
+	Sync SyncPolicy
+	// SnapshotEvery controls full-state snapshots on durable logs: a
+	// snapshot is written at publication once at least this many entries
+	// have been sequenced since the last one (recovery then replays only
+	// the WAL tail). 0 means the default (4096); negative disables
+	// periodic snapshots (one is still written on Close). Ignored by
+	// in-memory logs.
+	SnapshotEvery int
 	// ChromeInclusionDate records when the log was accepted into Chrome's
 	// log list (Table 1 annotates logs with it). Informational.
 	ChromeInclusionDate time.Time
@@ -126,10 +194,16 @@ type Log struct {
 	bucketAt     time.Time
 	// stats
 	rejected uint64
+
+	// store is the durability layer for logs opened with Open; nil for
+	// in-memory logs. snapAt is the tree size at the last snapshot.
+	store  *storage.Store
+	snapAt uint64
 }
 
-// New creates a log and publishes the empty-tree STH.
-func New(cfg Config) (*Log, error) {
+// newLog validates cfg and builds an unpublished log skeleton shared by
+// New (in-memory) and Open (durable).
+func newLog(cfg Config) (*Log, error) {
 	if cfg.Signer == nil {
 		return nil, errors.New("ctlog: Config.Signer is required")
 	}
@@ -142,6 +216,9 @@ func New(cfg Config) (*Log, error) {
 	if cfg.MaxGetEntries <= 0 {
 		cfg.MaxGetEntries = 1000
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 4096
+	}
 	l := &Log{
 		cfg:        cfg,
 		tree:       merkle.New(),
@@ -150,6 +227,15 @@ func New(cfg Config) (*Log, error) {
 	}
 	l.bucketAt = cfg.Clock()
 	l.bucketTokens = cfg.CapacityPerSecond
+	return l, nil
+}
+
+// New creates an in-memory log and publishes the empty-tree STH.
+func New(cfg Config) (*Log, error) {
+	l, err := newLog(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := l.publishLocked(); err != nil {
 		return nil, err
 	}
@@ -196,8 +282,14 @@ func (l *Log) AddPreChain(issuerKeyHash [32]byte, tbs []byte) (*sct.SignedCertif
 // add stages one submission. The identity hash, the entry skeleton, and
 // the Merkle leaf hash are computed before the lock and the SCT is
 // signed after it: none of them depend on tree or batch state, so the
-// critical section is two map operations, the capacity check, and a
-// slice append.
+// critical section is two map operations, the capacity check, a slice
+// append, and — on durable logs — buffering the entry's WAL record.
+// The WAL write must happen inside the lock: record order in the file
+// is the lock order, which is what guarantees an entry's record always
+// precedes the seal covering its batch. The fsync (the expensive part)
+// happens after the lock is released, before the SCT is returned, so
+// the acknowledgment is the durability point (group commit collapses
+// concurrent submitters into one fsync).
 func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, error) {
 	now := l.cfg.Clock()
 	ts := uint64(now.UnixMilli())
@@ -225,14 +317,14 @@ func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, err
 	} else {
 		e.Cert = ce.Cert
 	}
-	leafHash, err := e.LeafHash()
+	leaf, err := e.MerkleTreeLeaf()
 	if err != nil {
 		return nil, err
 	}
 
 	e.idHash = idHash
-	e.idKey = binary.BigEndian.Uint64(idHash[:8])
-	e.leafHash = leafHash
+	e.idKey = idKeyOf(idHash)
+	e.leafHash = merkle.HashLeaf(leaf)
 
 	l.mu.Lock()
 	if prev, ok := l.dedupe[idHash]; ok {
@@ -244,9 +336,29 @@ func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, err
 		l.mu.Unlock()
 		return nil, ErrOverloaded
 	}
+	var walOff int64
+	if l.store != nil {
+		if walOff, err = l.store.AppendEntry(leaf); err != nil {
+			// The record may be half-written; the store is now sticky-
+			// failed so nothing appends after the torn bytes, and replay
+			// discards them. The entry is not staged — memory and the
+			// durable prefix agree that it does not exist.
+			l.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+	}
 	l.staged = append(l.staged, e)
 	l.dedupe[idHash] = e
 	l.mu.Unlock()
+
+	if l.store != nil && l.cfg.Sync == SyncEachSubmission {
+		if err := l.store.Barrier(walOff); err != nil {
+			// The entry stays staged: its record is in the file and a
+			// replay may well recover it, so memory must agree. Only the
+			// acknowledgment is withheld.
+			return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+	}
 
 	s, err := l.cfg.Signer.CreateSCT(ts, ce)
 	if err != nil {
@@ -262,10 +374,27 @@ func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, err
 // shared first (under the lock) so a concurrent signing-failure
 // rollback of the original submission cannot revoke an entry this
 // submitter is about to hold an SCT for.
+//
+// A duplicate's SCT is as strong a promise as the original's, so on a
+// durable log it must not be issued over volatile state: the original's
+// WAL record is in the file by the time the entry is visible in the
+// dedupe map (both happen under the mutex), but under SyncEachSubmission
+// it may not be fsynced yet — the duplicate could even overtake the
+// original submitter's own Barrier. Syncing here closes that window,
+// and a sticky store failure refuses the promise outright.
 func (l *Log) dedupeSCT(prev *Entry) (*sct.SignedCertificateTimestamp, error) {
 	l.mu.Lock()
 	prev.dupAnswered = true
 	l.mu.Unlock()
+	if l.store != nil {
+		if l.cfg.Sync == SyncEachSubmission {
+			if err := l.store.Sync(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
+			}
+		} else if err := l.store.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+	}
 	return l.cfg.Signer.CreateSCT(prev.Timestamp, prev.SignatureEntry())
 }
 
@@ -291,6 +420,14 @@ func (l *Log) unstage(e *Entry) {
 			if l.cfg.CapacityPerSecond > 0 && l.bucketTokens < l.cfg.CapacityPerSecond {
 				l.bucketTokens++
 			}
+			if l.store != nil {
+				// Tombstone the entry's WAL record so replay rolls it
+				// back too. No fsync of its own: consistency only
+				// matters once a seal commits the batch, and the seal's
+				// fsync covers every byte before it — including this
+				// one. A failure just sticky-fails the store.
+				l.store.AppendUnstage(e.idHash)
+			}
 			return
 		}
 	}
@@ -313,6 +450,13 @@ func entryIdentity(ce sct.CertificateEntry) merkle.Hash {
 	var out merkle.Hash
 	h.Sum(out[:0])
 	return out
+}
+
+// idKeyOf extracts the cheap 8-byte sort key from an identity hash; the
+// live add path and WAL recovery both stamp it this way so the
+// canonical batch sort behaves identically on both.
+func idKeyOf(idHash merkle.Hash) uint64 {
+	return binary.BigEndian.Uint64(idHash[:8])
 }
 
 // takeTokenLocked enforces CapacityPerSecond with a token bucket refilled
@@ -347,11 +491,14 @@ func (l *Log) TreeSize() uint64 {
 // PublishSTH sequences all staged submissions and signs and publishes a
 // tree head over the resulting tree. Real logs do this periodically
 // within the MMD; experiments call it at batch boundaries of the virtual
-// clock.
+// clock. On durable logs the STH record is fsynced before the new head
+// becomes visible to readers, so a served STH is always recoverable.
 func (l *Log) PublishSTH() (SignedTreeHead, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.sequenceLocked()
+	if _, err := l.sequenceLocked(); err != nil {
+		return SignedTreeHead{}, err
+	}
 	if err := l.publishLocked(); err != nil {
 		return SignedTreeHead{}, err
 	}
@@ -377,13 +524,54 @@ func (l *Log) publishLocked() error {
 	if err != nil {
 		return fmt.Errorf("ctlog: signing STH: %w", err)
 	}
+	// Persist the head only when it covers new tree state. A wall-clock
+	// sequencer republishes every tick — on an idle log that is the
+	// same (size, root) under a fresh timestamp, and appending+fsyncing
+	// each one would grow the WAL without bound at zero load. Skipping
+	// them is safe: recovery serves the last persisted head (same tree,
+	// older timestamp) and the first live tick republishes fresh.
+	if ps := l.pub.Load(); l.store != nil &&
+		!(ps != nil && ps.sth.TreeHead.TreeSize == th.TreeSize && ps.sth.TreeHead.RootHash == th.RootHash) {
+		sigBytes, err := sig.Serialize()
+		if err != nil {
+			return fmt.Errorf("ctlog: serializing STH signature: %w", err)
+		}
+		if _, err := l.store.AppendSTH(storage.STHRecord{
+			Timestamp: th.Timestamp,
+			TreeSize:  th.TreeSize,
+			Root:      th.RootHash,
+			Sig:       sigBytes,
+		}); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+		if err := l.store.Sync(); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+	}
 	l.published = SignedTreeHead{TreeHead: th, Sig: sig}
 	size := th.TreeSize
 	l.pub.Store(&publishedState{
 		sth:     l.published,
 		entries: l.entries[:size:size],
 	})
+	if l.store != nil && l.cfg.SnapshotEvery > 0 && l.snapshotDueLocked() {
+		if err := l.writeSnapshotLocked(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// snapshotDueLocked decides whether publication should write a full
+// snapshot: at least SnapshotEvery entries since the last one AND at
+// least 20% tree growth. A snapshot costs O(tree) to encode and write
+// (under the mutex — the price of a consistent image), so the growth
+// floor keeps the cadence geometric: cumulative snapshot I/O stays
+// O(total entries) instead of going quadratic as the tree outgrows a
+// fixed entry interval.
+func (l *Log) snapshotDueLocked() bool {
+	grown := l.tree.Size() - l.snapAt
+	return grown >= uint64(l.cfg.SnapshotEvery) && grown*5 >= l.tree.Size()
 }
 
 // STH returns the latest published signed tree head.

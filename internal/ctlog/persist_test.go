@@ -1,0 +1,579 @@
+package ctlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ctrise/internal/ctlog/storage"
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+func verifyInclusionForTest(lh merkle.Hash, idx uint64, sth SignedTreeHead, proof []merkle.Hash) error {
+	return merkle.VerifyInclusion(lh, idx, sth.TreeHead.TreeSize, proof, merkle.Hash(sth.TreeHead.RootHash))
+}
+
+func verifyConsistencyForTest(before, after SignedTreeHead, proof []merkle.Hash) error {
+	return merkle.VerifyConsistency(
+		before.TreeHead.TreeSize, after.TreeHead.TreeSize,
+		merkle.Hash(before.TreeHead.RootHash), merkle.Hash(after.TreeHead.RootHash),
+		proof,
+	)
+}
+
+// newDurableLog opens a durable log in dir on a fresh virtual clock,
+// with a FastSigner (deterministic across reopens, like a persisted
+// production key).
+func newDurableLog(t *testing.T, dir string, cfg Config) (*Log, *virtualClock) {
+	t.Helper()
+	clk := newClock()
+	if cfg.Signer == nil {
+		cfg.Signer = sct.NewFastSigner("durable-test-log")
+	}
+	cfg.Clock = clk.Now
+	if cfg.Name == "" {
+		cfg.Name = "Durable Test Log"
+		cfg.Operator = "TestOp"
+	}
+	l, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, clk
+}
+
+// sameLogState asserts that two logs are observationally identical:
+// published STH (bytes, including the signature), sequenced entries,
+// and pending count.
+func sameLogState(t *testing.T, want, got *Log) {
+	t.Helper()
+	wSTH, gSTH := want.STH(), got.STH()
+	if wSTH.TreeHead != gSTH.TreeHead {
+		t.Fatalf("tree head mismatch:\nwant %+v\ngot  %+v", wSTH.TreeHead, gSTH.TreeHead)
+	}
+	if wSTH.Sig.SignatureAlgorithm != gSTH.Sig.SignatureAlgorithm || !bytes.Equal(wSTH.Sig.Signature, gSTH.Sig.Signature) {
+		t.Fatal("STH signature bytes differ after reopen")
+	}
+	if want.TreeSize() != got.TreeSize() {
+		t.Fatalf("tree size %d vs %d", want.TreeSize(), got.TreeSize())
+	}
+	if want.PendingCount() != got.PendingCount() {
+		t.Fatalf("pending count %d vs %d", want.PendingCount(), got.PendingCount())
+	}
+	size := wSTH.TreeHead.TreeSize
+	if size == 0 {
+		return
+	}
+	wEntries, err := want.GetEntries(0, size-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gEntries, err := got.GetEntries(0, size-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wEntries) != len(gEntries) {
+		t.Fatalf("entry count %d vs %d", len(wEntries), len(gEntries))
+	}
+	for i := range wEntries {
+		wl, err1 := wEntries[i].MerkleTreeLeaf()
+		gl, err2 := gEntries[i].MerkleTreeLeaf()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !bytes.Equal(wl, gl) {
+			t.Fatalf("entry %d leaf bytes differ", i)
+		}
+	}
+}
+
+// TestOpenFreshPublishesGenesis proves a fresh durable directory starts
+// like New: an empty-tree STH, which then survives a reopen.
+func TestOpenFreshPublishesGenesis(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{})
+	sth := l.STH()
+	if sth.TreeHead.TreeSize != 0 {
+		t.Fatalf("genesis size %d", sth.TreeHead.TreeSize)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := newDurableLog(t, dir, Config{})
+	defer l2.Close()
+	sameLogState(t, l, l2)
+}
+
+// TestReopenRoundTrip walks the full lifecycle — stage, sequence,
+// publish, more staging — closes, reopens, and requires byte-identical
+// state, proofs included.
+func TestReopenRoundTrip(t *testing.T) {
+	for _, every := range []int{1, 3, -1} {
+		t.Run(fmt.Sprintf("snapshotEvery=%d", every), func(t *testing.T) {
+			dir := t.TempDir()
+			l, clk := newDurableLog(t, dir, Config{SnapshotEvery: every})
+			var ikh [32]byte
+			ikh[0] = 7
+			for day := 0; day < 3; day++ {
+				for i := 0; i < 5; i++ {
+					if _, err := l.AddChain([]byte(fmt.Sprintf("cert-%d-%d", day, i))); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := l.AddPreChain(ikh, []byte(fmt.Sprintf("tbs-%d-%d", day, i))); err != nil {
+						t.Fatal(err)
+					}
+					clk.Advance(time.Minute)
+				}
+				if _, err := l.PublishSTH(); err != nil {
+					t.Fatal(err)
+				}
+				clk.Advance(24 * time.Hour)
+			}
+			// Leave a staged tail so recovery has pending state too.
+			if _, err := l.AddChain([]byte("staged-only")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, _ := newDurableLog(t, dir, Config{SnapshotEvery: every})
+			defer l2.Close()
+			sameLogState(t, l, l2)
+
+			// Proof paths work over the recovered tree.
+			sth := l2.STH()
+			entries, err := l2.GetEntries(0, sth.TreeHead.TreeSize-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				lh, err := e.LeafHash()
+				if err != nil {
+					t.Fatal(err)
+				}
+				idx, proof, err := l2.GetProofByHash(lh, sth.TreeHead.TreeSize)
+				if err != nil {
+					t.Fatalf("proof for entry %d: %v", e.Index, err)
+				}
+				if idx != e.Index {
+					t.Fatalf("index %d, want %d", idx, e.Index)
+				}
+				if err := verifyInclusionForTest(lh, idx, sth, proof); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestReopenContinuesAppending proves a reopened log keeps growing
+// consistently: new submissions sequence on top of the recovered tree
+// and a consistency proof links the pre- and post-restart heads.
+func TestReopenContinuesAppending(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{})
+	for i := 0; i < 4; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("pre-restart-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	before := l.STH()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, clk := newDurableLog(t, dir, Config{})
+	defer l2.Close()
+	clk.Advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if _, err := l2.AddChain([]byte(fmt.Sprintf("post-restart-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l2.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	after := l2.STH()
+	if after.TreeHead.TreeSize != 7 {
+		t.Fatalf("post-restart size %d, want 7", after.TreeHead.TreeSize)
+	}
+	proof, err := l2.GetConsistencyProof(before.TreeHead.TreeSize, after.TreeHead.TreeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyConsistencyForTest(before, after, proof); err != nil {
+		t.Fatalf("pre/post restart heads inconsistent: %v", err)
+	}
+}
+
+// TestPendingAndDedupeSurviveReopen is the regression test for the
+// staged-batch recovery contract: PendingCount is preserved across a
+// restart, and a duplicate submitted after the restart — whether its
+// original was staged or already sequenced — returns the original SCT
+// (same timestamp, no new pending entry), exactly as if the process had
+// never died.
+func TestPendingAndDedupeSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{})
+	sequenced := []byte("sequenced-cert")
+	staged := []byte("staged-cert")
+	sctSequenced, err := l.AddChain(sequenced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Hour)
+	sctStaged, err := l.AddChain(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, clk2 := newDurableLog(t, dir, Config{})
+	defer l2.Close()
+	if got := l2.PendingCount(); got != 1 {
+		t.Fatalf("PendingCount after reopen = %d, want 1", got)
+	}
+	// Let wall time move on: a re-add (rather than a dedupe hit) would
+	// mint a fresh, different timestamp.
+	clk2.Advance(48 * time.Hour)
+	dupStaged, err := l2.AddChain(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupStaged.Timestamp != sctStaged.Timestamp {
+		t.Fatalf("staged duplicate timestamp %d, want original %d", dupStaged.Timestamp, sctStaged.Timestamp)
+	}
+	dupSequenced, err := l2.AddChain(sequenced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupSequenced.Timestamp != sctSequenced.Timestamp {
+		t.Fatalf("sequenced duplicate timestamp %d, want original %d", dupSequenced.Timestamp, sctSequenced.Timestamp)
+	}
+	if got := l2.PendingCount(); got != 1 {
+		t.Fatalf("duplicates grew the pending batch: %d", got)
+	}
+	// The recovered staged entry sequences once, not twice.
+	if n, err := l2.Sequence(); err != nil || n != 1 {
+		t.Fatalf("sequenced %d (err %v), want 1", n, err)
+	}
+	if l2.TreeSize() != 2 {
+		t.Fatalf("tree size %d, want 2", l2.TreeSize())
+	}
+}
+
+// TestReopenWithECDSASigner proves recovery works with real ECDSA
+// signatures: the restored STH carries the exact pre-crash signature
+// (ECDSA is randomized, so a re-sign would differ) and verifies.
+func TestReopenWithECDSASigner(t *testing.T) {
+	signer, err := sct.NewSigner(&fixedReader{rng: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{Signer: signer})
+	if _, err := l.AddChain([]byte("ecdsa cert")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := newDurableLog(t, dir, Config{Signer: signer})
+	defer l2.Close()
+	sameLogState(t, l, l2)
+	sth := l2.STH()
+	if err := l2.Verifier().VerifyTreeHead(sth.TreeHead, sth.Sig); err != nil {
+		t.Fatalf("recovered STH does not verify: %v", err)
+	}
+}
+
+// TestOpenRejectsWrongKey proves a directory opened under a different
+// signer fails loudly instead of serving STHs it could never have
+// signed.
+func TestOpenRejectsWrongKey(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{Signer: sct.NewFastSigner("key-A")})
+	if _, err := l.AddChain([]byte("cert")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clk := newClock()
+	_, err := Open(dir, Config{Name: "X", Signer: sct.NewFastSigner("key-B"), Clock: clk.Now})
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("open with wrong key: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptSnapshotFallsBackToWAL proves snapshot corruption is not
+// fatal: the uncompacted WAL rebuilds the full state.
+func TestCorruptSnapshotFallsBackToWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{SnapshotEvery: 1})
+	for i := 0; i < 6; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("cert-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, storage.SnapshotName)
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("expected a snapshot: %v", err)
+	}
+	if err := os.WriteFile(snapPath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := newDurableLog(t, dir, Config{})
+	defer l2.Close()
+	sameLogState(t, l, l2)
+}
+
+// TestMidWALCorruptionAdoptsSnapshot proves that when corruption eats
+// fsynced WAL records BELOW the snapshot's cursor — so the surviving
+// WAL prefix ends before state the snapshot verifiably covers —
+// recovery adopts the snapshot rather than silently rolling the log
+// back below its published STH, and the log keeps working (and
+// re-persisting consistently) afterwards.
+func TestMidWALCorruptionAdoptsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{})
+	for i := 0; i < 8; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("cert-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // writes the snapshot
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the middle of the WAL: the valid prefix now ends
+	// well below the snapshot's cursor.
+	walPath := filepath.Join(dir, storage.WALName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _ := newDurableLog(t, dir, Config{})
+	sameLogState(t, l, l2) // full state, not the corrupt WAL's prefix
+	// The log keeps accepting and sequencing on the reset WAL.
+	if _, err := l2.AddChain([]byte("post-corruption")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And a third open replays the re-anchored snapshot + fresh WAL.
+	l3, _ := newDurableLog(t, dir, Config{})
+	defer l3.Close()
+	sameLogState(t, l2, l3)
+	if l3.TreeSize() != 9 {
+		t.Fatalf("tree size %d, want 9", l3.TreeSize())
+	}
+}
+
+// TestCorruptSnapshotWithEmptyWALFailsLoudly covers the state after an
+// adopt-snapshot recovery: the WAL is empty and the snapshot is the
+// only copy of the log. If that snapshot then corrupts, Open must fail
+// loudly — falling back to the empty WAL would silently restart the
+// log empty, vaporizing every acked submission.
+func TestCorruptSnapshotWithEmptyWALFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{})
+	for i := 0; i < 5; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("cert-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reach the adopted state: corrupt the WAL mid-file so the next open
+	// adopts the snapshot and resets the WAL to an empty header.
+	walPath := filepath.Join(dir, storage.WALName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := newDurableLog(t, dir, Config{})
+	if l2.TreeSize() != 5 {
+		t.Fatalf("adopted tree size %d, want 5", l2.TreeSize())
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Now the snapshot corrupts too.
+	snapPath := filepath.Join(dir, storage.SnapshotName)
+	snapData, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapData[len(snapData)/2] ^= 0xFF
+	if err := os.WriteFile(snapPath, snapData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clk := newClock()
+	_, err = Open(dir, Config{Name: "X", Signer: sct.NewFastSigner("durable-test-log"), Clock: clk.Now})
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("corrupt snapshot over empty WAL: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestDivergedSealFailsLoudly forges a WAL whose seal does not match
+// its entries (a valid checksum over a lying root) and requires Open to
+// refuse: this is the "never serve a diverged STH" guarantee, beyond
+// what CRCs catch.
+func TestDivergedSealFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{SnapshotEvery: -1})
+	if _, err := l.AddChain([]byte("original cert")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the WAL: keep the records but flip a byte inside the
+	// entry's certificate and re-frame it with a fresh, valid CRC. The
+	// seal and STH now commit to a tree this history cannot produce.
+	walPath := filepath.Join(dir, storage.WALName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid, err := storage.DecodeWAL(data)
+	if err != nil || valid != len(data) {
+		t.Fatalf("unexpected WAL shape: valid=%d len=%d err=%v", valid, len(data), err)
+	}
+	forged := append([]byte(nil), storage.WALMagic...)
+	for _, rec := range recs {
+		payload := append([]byte(nil), rec.Payload...)
+		if rec.Type == storage.RecordEntry {
+			payload[len(payload)-1] ^= 0x01
+		}
+		forged = storage.AppendRecord(forged, rec.Type, payload)
+	}
+	if err := os.WriteFile(walPath, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the Close-time snapshot so recovery must replay the forged
+	// WAL (with the snapshot present it would never read the prefix).
+	if err := os.Remove(filepath.Join(dir, storage.SnapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	clk := newClock()
+	_, err = Open(dir, Config{Name: "X", Signer: sct.NewFastSigner("durable-test-log"), Clock: clk.Now})
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("forged WAL: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestIdleRepublishDoesNotGrowWAL pins the idle-log property: a
+// wall-clock sequencer republishing an unchanged tree appends nothing
+// durable (otherwise an idle ctlogd's WAL grows without bound), while a
+// tree-advancing publish still persists its head.
+func TestIdleRepublishDoesNotGrowWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{})
+	if _, err := l.AddChain([]byte("one cert")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, storage.WALName)
+	sizeAfterPublish := func() int64 {
+		fi, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	before := sizeAfterPublish()
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+		if _, err := l.PublishSTH(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := sizeAfterPublish(); after != before {
+		t.Fatalf("idle republishing grew the WAL: %d -> %d", before, after)
+	}
+	// The recovered head is the persisted one: same tree, and still
+	// served after reopen.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := newDurableLog(t, dir, Config{})
+	defer l2.Close()
+	sth := l2.STH()
+	if sth.TreeHead.TreeSize != 1 {
+		t.Fatalf("reopened size %d, want 1", sth.TreeHead.TreeSize)
+	}
+}
+
+// TestInMemoryLogUnchanged pins the zero-cost property: a log built
+// with New has no store, Close is a no-op, and submissions never touch
+// a filesystem.
+func TestInMemoryLogUnchanged(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	if _, err := l.AddChain([]byte("cert")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Still usable after Close: nothing was shut down.
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TreeSize() != 1 {
+		t.Fatalf("tree size %d", l.TreeSize())
+	}
+}

@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"slices"
 	"time"
+
+	"ctrise/internal/ctlog/storage"
+	"ctrise/internal/merkle"
 )
 
 // The sequencer is the second phase of the stage → sequence lifecycle
@@ -27,21 +31,63 @@ import (
 // across goroutines, runs, or parallelism settings — and the tree bytes
 // come out identical. This is what lets the timeline replay fan
 // submissions out freely and still prove byte-identical trees.
-func (l *Log) Sequence() int {
+//
+// On durable logs each sequence step appends and fsyncs a seal record —
+// the snapshot cursor marking the batch boundary — so recovery re-sorts
+// exactly the same batches and reconstructs byte-identical tree state.
+// A persistence error leaves the batch integrated in memory but
+// unsealed on disk: recovery sees those entries as still staged, which
+// is a consistent earlier state, and the sticky store failure prevents
+// any later STH from being written over the unsealed tree.
+func (l *Log) Sequence() (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.sequenceLocked()
 }
 
-func (l *Log) sequenceLocked() int {
+func (l *Log) sequenceLocked() (int, error) {
 	if len(l.staged) == 0 {
-		return 0
+		return 0, nil
 	}
 	batch := l.staged
 	l.staged = nil
-	// The comparator resolves almost always on the timestamp or the
-	// 8-byte hash prefix stamped at staging time; the full 32-byte
-	// compare is the correctness tiebreak for prefix collisions.
+	sortBatch(batch)
+	integrateBatch(batch, l.tree, &l.entries, l.byLeafHash)
+	if l.store != nil {
+		if _, err := l.store.AppendSeal(storage.SealRecord{
+			TreeSize: l.tree.Size(),
+			Root:     [32]byte(l.tree.Root()),
+		}); err != nil {
+			return len(batch), fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+		if err := l.store.Sync(); err != nil {
+			return len(batch), fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+	}
+	return len(batch), nil
+}
+
+// integrateBatch appends an already-ordered batch to the sequenced
+// state: index assignment, tree append, entry list, and the
+// leaf-hash→index lookup. It is the single integration routine for the
+// live sequencer and both recovery paths (seal replay and snapshot
+// load), so the rebuilt auxiliary indices can never drift from the live
+// ones.
+func integrateBatch(batch []*Entry, tree *merkle.Tree, entries *[]*Entry, byLeafHash map[merkle.Hash]uint64) {
+	for _, e := range batch {
+		e.Index = uint64(len(*entries))
+		tree.AppendLeafHash(e.leafHash)
+		*entries = append(*entries, e)
+		byLeafHash[e.leafHash] = e.Index
+	}
+}
+
+// sortBatch orders a pending batch canonically. The comparator resolves
+// almost always on the timestamp or the 8-byte hash prefix stamped at
+// staging time; the full 32-byte compare is the correctness tiebreak for
+// prefix collisions. Recovery replays batches through the same sort, so
+// the rebuilt tree is byte-identical to the live one.
+func sortBatch(batch []*Entry) {
 	slices.SortFunc(batch, func(a, b *Entry) int {
 		if a.Timestamp != b.Timestamp {
 			if a.Timestamp < b.Timestamp {
@@ -57,13 +103,6 @@ func (l *Log) sequenceLocked() int {
 		}
 		return bytes.Compare(a.idHash[:], b.idHash[:])
 	})
-	for _, e := range batch {
-		e.Index = uint64(len(l.entries))
-		l.tree.AppendLeafHash(e.leafHash)
-		l.entries = append(l.entries, e)
-		l.byLeafHash[e.leafHash] = e.Index
-	}
-	return len(batch)
 }
 
 // PendingCount reports how many accepted submissions are staged but not

@@ -26,7 +26,7 @@ func TestSequenceCanonicalOrder(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if n := l.Sequence(); n != len(certs) {
+		if n, _ := l.Sequence(); n != len(certs) {
 			t.Fatalf("sequenced %d, want %d", n, len(certs))
 		}
 		sth, err := l.PublishSTH()

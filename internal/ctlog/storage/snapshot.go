@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ctrise/internal/tlsenc"
+)
+
+// SnapshotName is the snapshot's file name inside a store directory.
+const SnapshotName = "snapshot.ct"
+
+// Snapshot is a full durable image of a log's state at one instant: the
+// sequenced entries in tree order (which is also the dedupe index — the
+// identity hash of every entry, staged or sequenced, is a pure function
+// of its leaf bytes), the pending staged batch in staging order, the
+// tree size and root for integrity verification, the published STH with
+// its original signature bytes, and the WAL offset from which replay
+// resumes. Loading a snapshot and replaying the WAL tail from WALOffset
+// reconstructs byte-identical log state.
+type Snapshot struct {
+	// Sequenced holds the MerkleTreeLeaf bytes of entries 0..TreeSize-1.
+	Sequenced [][]byte
+	// Staged holds the leaf bytes of accepted-but-unsequenced entries,
+	// in staging order.
+	Staged [][]byte
+	// Root is the Merkle root over Sequenced; loaders must verify it.
+	Root [32]byte
+	// STH is the published tree head at snapshot time. It may trail the
+	// tree (publication lags sequencing by up to the MMD).
+	STH STHRecord
+	// WALOffset is the WAL byte offset covering everything in this
+	// snapshot; replay resumes there.
+	WALOffset uint64
+}
+
+// TreeSize returns the sequenced entry count the snapshot covers.
+func (s *Snapshot) TreeSize() uint64 { return uint64(len(s.Sequenced)) }
+
+// EncodeSnapshot renders a snapshot file image: magic, meta record,
+// entry records (sequenced then staged), and the STH record. Encoding is
+// canonical — the same snapshot always produces the same bytes.
+func EncodeSnapshot(s *Snapshot) []byte {
+	b := tlsenc.NewBuilder(8 + 8 + 8 + 32)
+	b.AddUint64(uint64(len(s.Sequenced)))
+	b.AddUint64(uint64(len(s.Staged)))
+	b.AddUint64(s.WALOffset)
+	b.AddBytes(s.Root[:])
+	size := MagicLen + recordOverhead*(2+len(s.Sequenced)+len(s.Staged))
+	for _, e := range s.Sequenced {
+		size += len(e)
+	}
+	for _, e := range s.Staged {
+		size += len(e)
+	}
+	out := make([]byte, 0, size+64)
+	out = append(out, SnapshotMagic...)
+	out = AppendRecord(out, RecordSnapMeta, b.MustBytes())
+	for _, e := range s.Sequenced {
+		out = AppendRecord(out, RecordEntry, e)
+	}
+	for _, e := range s.Staged {
+		out = AppendRecord(out, RecordEntry, e)
+	}
+	out = AppendRecord(out, RecordSTH, EncodeSTH(s.STH))
+	return out
+}
+
+// DecodeSnapshot parses and structurally validates a snapshot image.
+// Unlike the WAL, a snapshot is written atomically and must be whole:
+// any torn record, count mismatch, or trailing byte is ErrCorrupt.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < MagicLen {
+		return nil, fmt.Errorf("%w: short snapshot header", ErrCorrupt)
+	}
+	for i, b := range SnapshotMagic {
+		if data[i] != b {
+			return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+		}
+	}
+	off := MagicLen
+	next := func() (Record, error) {
+		rec, n, err := ReadRecord(data[off:])
+		if err != nil {
+			return Record{}, err
+		}
+		off += n
+		return rec, nil
+	}
+	meta, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if meta.Type != RecordSnapMeta {
+		return nil, fmt.Errorf("%w: snapshot starts with record type %d", ErrCorrupt, meta.Type)
+	}
+	r := tlsenc.NewReader(meta.Payload)
+	nSeq := r.Uint64()
+	nStaged := r.Uint64()
+	walOff := r.Uint64()
+	var root [32]byte
+	copy(root[:], r.Bytes(32))
+	if err := r.ExpectEmpty(); err != nil {
+		return nil, fmt.Errorf("%w: snapshot meta: %v", ErrCorrupt, err)
+	}
+	// An absurd count means a corrupt meta record that happened to
+	// checksum — impossible in practice, but never trust a length you
+	// are about to allocate. Each count is bounded individually first so
+	// the sum cannot wrap uint64 past the check.
+	maxEntries := uint64(len(data))/recordOverhead + 1
+	if nSeq > maxEntries || nStaged > maxEntries || nSeq+nStaged > maxEntries {
+		return nil, fmt.Errorf("%w: snapshot claims %d+%d entries in %d bytes", ErrCorrupt, nSeq, nStaged, len(data))
+	}
+	snap := &Snapshot{
+		Sequenced: make([][]byte, 0, nSeq),
+		Staged:    make([][]byte, 0, nStaged),
+		Root:      root,
+		WALOffset: walOff,
+	}
+	for i := uint64(0); i < nSeq+nStaged; i++ {
+		rec, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != RecordEntry {
+			return nil, fmt.Errorf("%w: snapshot entry %d has record type %d", ErrCorrupt, i, rec.Type)
+		}
+		if i < nSeq {
+			snap.Sequenced = append(snap.Sequenced, rec.Payload)
+		} else {
+			snap.Staged = append(snap.Staged, rec.Payload)
+		}
+	}
+	sthRec, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if sthRec.Type != RecordSTH {
+		return nil, fmt.Errorf("%w: snapshot trailer has record type %d", ErrCorrupt, sthRec.Type)
+	}
+	if snap.STH, err = DecodeSTH(sthRec.Payload); err != nil {
+		return nil, err
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrCorrupt, len(data)-off)
+	}
+	return snap, nil
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsyncing the file before the rename and the directory
+// after, so a crash leaves either the old file or the new one — never a
+// torn mix. It is shared by snapshots and harvest checkpoints.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("storage: renaming snapshot: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash.
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making the entries it holds (creations,
+// links, and renames) durable. Exported for callers that persist their
+// own files beside a store (cmd/ctlogd's signing key).
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: opening %s to sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xAB}, 1000)}
+	var buf []byte
+	for i, p := range payloads {
+		buf = AppendRecord(buf, RecordType(i+1), p)
+	}
+	recs, valid := ScanRecords(buf)
+	if valid != len(buf) {
+		t.Fatalf("valid=%d, want %d", valid, len(buf))
+	}
+	if len(recs) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(recs), len(payloads))
+	}
+	for i, rec := range recs {
+		if rec.Type != RecordType(i+1) {
+			t.Errorf("record %d type %d, want %d", i, rec.Type, i+1)
+		}
+		if !bytes.Equal(rec.Payload, payloads[i]) {
+			t.Errorf("record %d payload mismatch", i)
+		}
+	}
+}
+
+// TestScanRecordsTornAndCorrupt proves the valid-prefix contract: a torn
+// or bit-flipped suffix ends the prefix exactly at the last whole record.
+func TestScanRecordsTornAndCorrupt(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, RecordEntry, []byte("first"))
+	oneEnd := len(buf)
+	buf = AppendRecord(buf, RecordEntry, []byte("second"))
+
+	// Every truncation point mid-second-record preserves only the first.
+	for cut := oneEnd; cut < len(buf); cut++ {
+		recs, valid := ScanRecords(buf[:cut])
+		if valid != oneEnd || len(recs) != 1 {
+			t.Fatalf("cut %d: valid=%d recs=%d, want %d/1", cut, valid, len(recs), oneEnd)
+		}
+	}
+	// A flipped bit anywhere in the second record is caught by the CRC.
+	for i := oneEnd; i < len(buf); i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xFF
+		recs, valid := ScanRecords(mut)
+		if valid != oneEnd || len(recs) != 1 {
+			t.Fatalf("flip %d: valid=%d recs=%d, want %d/1", i, valid, len(recs), oneEnd)
+		}
+	}
+	// A flipped bit in the first record discards everything: the reader
+	// cannot resynchronize past an invalid frame, by design.
+	mut := append([]byte(nil), buf...)
+	mut[7] ^= 0x01
+	if recs, valid := ScanRecords(mut); valid != 0 || len(recs) != 0 {
+		t.Fatalf("flip in first record: valid=%d recs=%d, want 0/0", valid, len(recs))
+	}
+}
+
+func TestDecodeWALRejectsBadMagic(t *testing.T) {
+	data := append([]byte("NOTAWAL!"), AppendRecord(nil, RecordEntry, []byte("x"))...)
+	if _, _, err := DecodeWAL(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+	if _, _, err := DecodeWAL([]byte("CT")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short header err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestSealSTHUnstageCodecs(t *testing.T) {
+	seal := SealRecord{TreeSize: 42}
+	copy(seal.Root[:], bytes.Repeat([]byte{0x5A}, 32))
+	got, err := DecodeSeal(EncodeSeal(seal))
+	if err != nil || got != seal {
+		t.Fatalf("seal round trip: %+v, %v", got, err)
+	}
+	if _, err := DecodeSeal([]byte{1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short seal err=%v", err)
+	}
+
+	sth := STHRecord{Timestamp: 7, TreeSize: 9, Sig: []byte{1, 2, 3}}
+	copy(sth.Root[:], bytes.Repeat([]byte{0x11}, 32))
+	got2, err := DecodeSTH(EncodeSTH(sth))
+	if err != nil || got2.Timestamp != sth.Timestamp || got2.TreeSize != sth.TreeSize ||
+		got2.Root != sth.Root || !bytes.Equal(got2.Sig, sth.Sig) {
+		t.Fatalf("sth round trip: %+v, %v", got2, err)
+	}
+	if _, err := DecodeSTH(append(EncodeSTH(sth), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing sth byte err=%v", err)
+	}
+
+	var id [32]byte
+	id[0], id[31] = 0xAA, 0xBB
+	gotID, err := DecodeUnstage(EncodeUnstage(id))
+	if err != nil || gotID != id {
+		t.Fatalf("unstage round trip: %v, %v", gotID, err)
+	}
+	if _, err := DecodeUnstage([]byte{1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short unstage err=%v", err)
+	}
+}
+
+// TestStoreAppendReopen proves records written to a store come back in
+// order on reopen, and that a torn tail is truncated so appends resume
+// from the last durable record.
+func TestStoreAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendEntry([]byte("leaf-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendSeal(SealRecord{TreeSize: 1}); err != nil {
+		t.Fatal(err)
+	}
+	off, err := st.AppendEntry([]byte("leaf-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Barrier(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: garbage after the durable records.
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{byte(RecordEntry), 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var types []RecordType
+	var payloads []string
+	if err := st2.Replay(0, func(rec Record) error {
+		types = append(types, rec.Type)
+		payloads = append(payloads, string(rec.Payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 3 || types[0] != RecordEntry || types[1] != RecordSeal || types[2] != RecordEntry {
+		t.Fatalf("replayed types %v", types)
+	}
+	if payloads[0] != "leaf-1" || payloads[2] != "leaf-2" {
+		t.Fatalf("replayed payloads %q", payloads)
+	}
+	// Truncation of the torn tail is deferred until the recovery commits
+	// (the caller may prefer a snapshot over a corrupt-prefix WAL);
+	// after CommitRecovery the file ends exactly at the append offset.
+	if err := st2.CommitRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != st2.WALOffset() {
+		t.Fatalf("file size %d != append offset %d", fi.Size(), st2.WALOffset())
+	}
+}
+
+func TestSnapshotRoundTripAndCorruption(t *testing.T) {
+	snap := &Snapshot{
+		Sequenced: [][]byte{[]byte("a"), []byte("bb")},
+		Staged:    [][]byte{[]byte("ccc")},
+		STH:       STHRecord{Timestamp: 5, TreeSize: 2, Sig: []byte{9}},
+		WALOffset: 99,
+	}
+	copy(snap.Root[:], bytes.Repeat([]byte{0x42}, 32))
+	data := EncodeSnapshot(snap)
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TreeSize() != 2 || len(got.Staged) != 1 || got.WALOffset != 99 ||
+		got.Root != snap.Root || string(got.Staged[0]) != "ccc" {
+		t.Fatalf("decoded %+v", got)
+	}
+	// Unlike the WAL, a snapshot tolerates nothing: every truncation and
+	// every byte flip must be rejected.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeSnapshot(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xFF
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("byte flip at %d accepted", i)
+		}
+	}
+	if _, err := DecodeSnapshot(append(data, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestSnapshotOverflowingCountsRejected hand-frames a snapshot whose
+// CRC-valid meta record carries entry counts that wrap uint64 when
+// summed; the decoder must reject it as corrupt, not panic in make().
+func TestSnapshotOverflowingCountsRejected(t *testing.T) {
+	for _, counts := range [][2]uint64{
+		{^uint64(0), 2},     // nSeq+nStaged wraps to 1
+		{^uint64(0) - 1, 0}, // nSeq alone absurd
+		{0, ^uint64(0)},     // nStaged alone absurd
+		{1 << 40, 1 << 40},  // huge but non-wrapping
+	} {
+		meta := make([]byte, 0, 56)
+		for _, v := range []uint64{counts[0], counts[1], 0} {
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(v >> (56 - 8*i))
+			}
+			meta = append(meta, b[:]...)
+		}
+		meta = append(meta, make([]byte, 32)...) // root
+		img := append([]byte(nil), SnapshotMagic...)
+		img = AppendRecord(img, RecordSnapMeta, meta)
+		if _, err := DecodeSnapshot(img); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("counts %v: err=%v, want ErrCorrupt", counts, err)
+		}
+	}
+}
+
+func TestStoreSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if snap, err := st.LoadSnapshot(); err != nil || snap != nil {
+		t.Fatalf("fresh dir: snap=%v err=%v", snap, err)
+	}
+	want := &Snapshot{Sequenced: [][]byte{[]byte("e")}, STH: STHRecord{TreeSize: 1}}
+	if err := st.WriteSnapshot(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadSnapshot()
+	if err != nil || got.TreeSize() != 1 {
+		t.Fatalf("load: %+v, %v", got, err)
+	}
+	// A corrupt snapshot is reported as such, not silently absent.
+	if err := os.WriteFile(filepath.Join(dir, SnapshotName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadSnapshot(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot err=%v", err)
+	}
+}
+
+func TestReplayOffsetValidation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendEntry([]byte("leaf")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay consumes the records discovered at open time, so bad resume
+	// offsets are judged against the reopened, validated prefix.
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Replay(st.WALOffset()+1, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("past-end replay err=%v", err)
+	}
+	if err := st.Replay(int64(MagicLen)+1, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-record replay err=%v", err)
+	}
+}
+
+// TestStoreExclusiveLock proves one state directory admits one writer:
+// a second Open fails loudly (ErrLocked) instead of the two processes
+// truncating and interleaving over each other's acked records, and the
+// lock dies with the holder (Close here; process exit in production).
+func TestStoreExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open err=%v, want ErrLocked", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	st2.Close()
+}
+
+func TestStoreClosedIsSticky(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendEntry([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close err=%v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close err=%v", err)
+	}
+}

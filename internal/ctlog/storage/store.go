@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is one log's durable state directory: the write-ahead log plus
+// the latest snapshot. The write path is sticky-fail: after any append
+// or fsync error the store refuses further writes, because a WAL whose
+// tail may be torn must not be appended past — the log above surfaces
+// the failure to submitters and keeps serving reads from memory, and a
+// restart recovers the durable prefix.
+type Store struct {
+	dir string
+	wal *wal
+
+	mu     sync.Mutex
+	failed error
+	closed bool
+}
+
+// Open opens (or initializes) the store directory: creates it if
+// missing, validates the WAL, truncates any torn tail, and positions
+// appends after the last durable record. The recovered records are
+// consumed via Replay.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating %s: %w", dir, err)
+	}
+	// Make the state directory's own entry durable: a crash that loses
+	// the directory loses every fsync inside it.
+	if err := SyncDir(filepath.Dir(dir)); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, wal: w}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Err returns the sticky write failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (s *Store) fail(err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	return err
+}
+
+// append frames one record into the WAL, returning the barrier offset.
+func (s *Store) append(typ RecordType, payload []byte) (int64, error) {
+	if err := s.Err(); err != nil {
+		return 0, err
+	}
+	off, err := s.wal.append(typ, payload)
+	if err != nil {
+		return off, s.fail(err)
+	}
+	return off, nil
+}
+
+// AppendEntry records one staged submission (its MerkleTreeLeaf bytes).
+func (s *Store) AppendEntry(leaf []byte) (int64, error) {
+	return s.append(RecordEntry, leaf)
+}
+
+// AppendSeal records a sequencing step over everything staged before it.
+func (s *Store) AppendSeal(seal SealRecord) (int64, error) {
+	return s.append(RecordSeal, EncodeSeal(seal))
+}
+
+// AppendSTH records a published tree head.
+func (s *Store) AppendSTH(sth STHRecord) (int64, error) {
+	return s.append(RecordSTH, EncodeSTH(sth))
+}
+
+// AppendUnstage records the rollback of one staged entry.
+func (s *Store) AppendUnstage(id [32]byte) (int64, error) {
+	return s.append(RecordUnstage, EncodeUnstage(id))
+}
+
+// Barrier blocks until every WAL byte below off is durable (group
+// commit: concurrent barriers share one fsync).
+func (s *Store) Barrier(off int64) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	if err := s.wal.barrier(off); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// Sync makes every appended WAL byte durable.
+func (s *Store) Sync() error {
+	return s.Barrier(s.wal.writeOff.Load())
+}
+
+// WALOffset returns the current append position (the offset a snapshot
+// taken now should record).
+func (s *Store) WALOffset() int64 { return s.wal.writeOff.Load() }
+
+// Replay hands the WAL's valid records from byte offset `from` onward
+// to fn, in append order. Offsets outside the valid prefix are
+// ErrCorrupt (a snapshot pointing past the WAL means the two files
+// disagree). Replay may run more than once — recovery retries from
+// genesis when a snapshot proves unusable — so the records are retained
+// until the recovery commits: exactly one of CommitRecovery/ResetWAL,
+// which truncate the file appropriately and release the records.
+func (s *Store) Replay(from int64, fn func(Record) error) error {
+	if from < MagicLen {
+		from = MagicLen
+	}
+	if from > s.wal.writeOff.Load() {
+		return fmt.Errorf("%w: replay offset %d beyond WAL end %d", ErrCorrupt, from, s.wal.writeOff.Load())
+	}
+	off := int64(MagicLen)
+	for _, rec := range s.wal.records {
+		span := int64(recordOverhead + len(rec.Payload))
+		if off >= from {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		} else if off+span > from {
+			// A resume offset inside a record means the snapshot and the
+			// WAL were not written by the same history.
+			return fmt.Errorf("%w: replay offset %d splits a record", ErrCorrupt, from)
+		}
+		off += span
+	}
+	return nil
+}
+
+// CommitRecovery finalizes a WAL-based recovery: the bytes past the
+// valid prefix (crash debris, or mid-file corruption the caller has
+// decided to accept losing) are truncated away so appends continue from
+// the last valid record, and the replay records are released. Exactly
+// one of CommitRecovery/ResetWAL must run before the first append.
+func (s *Store) CommitRecovery() error {
+	if err := s.wal.truncateTo(s.wal.writeOff.Load()); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// ResetWAL discards the entire WAL (truncates to the bare header) and
+// releases the replay records. Used when recovery adopts a snapshot
+// that covers more history than the surviving WAL: the snapshot is the
+// verified state, and a WAL whose prefix ends below the snapshot's
+// cursor can never be replayed consistently again.
+func (s *Store) ResetWAL() error {
+	if err := s.wal.truncateTo(MagicLen); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot file.
+func (s *Store) WriteSnapshot(snap *Snapshot) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(filepath.Join(s.dir, SnapshotName), EncodeSnapshot(snap)); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads and validates the snapshot file. It returns
+// (nil, nil) when no snapshot exists and ErrCorrupt when one exists but
+// fails validation — the caller decides whether to fall back to a full
+// WAL replay (the WAL is never compacted, so genesis replay is always
+// available).
+func (s *Store) LoadSnapshot() (*Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, SnapshotName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading snapshot: %w", err)
+	}
+	return DecodeSnapshot(data)
+}
+
+// Close closes the store. Further writes fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.wal.close()
+}

@@ -38,6 +38,20 @@ type Harvest struct {
 	names     map[string]struct{}
 }
 
+// NewHarvest returns an empty harvest for the given Figure 1c heat
+// window, with all aggregates (including the sharded FQDN set)
+// initialized. Both the parallel crawl and the resumable checkpointed
+// crawl build on it.
+func NewHarvest(heatFrom, heatTo time.Time) *Harvest {
+	return &Harvest{
+		PrecertsByOrgDay: stats.NewDaySeries(),
+		PrecertsByOrgLog: make(map[string]*stats.Counter),
+		NameSet:          stats.NewStringSet(0),
+		HeatmapFrom:      heatFrom,
+		HeatmapTo:        heatTo,
+	}
+}
+
 // Names returns the deduplicated FQDN corpus as a plain map,
 // materializing it from NameSet on first use. Prefer iterating NameSet
 // (ForEach/ForEachShard) where a map is not required — the corpus is the
@@ -165,12 +179,7 @@ func (w *World) HarvestLogsParallel(heatFrom, heatTo time.Time, parallelism int)
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	h := &Harvest{
-		PrecertsByOrgDay: stats.NewDaySeries(),
-		PrecertsByOrgLog: make(map[string]*stats.Counter),
-		HeatmapFrom:      heatFrom,
-		HeatmapTo:        heatTo,
-	}
+	h := NewHarvest(heatFrom, heatTo)
 
 	var tasks []harvestTask
 	for _, name := range w.LogNames {
@@ -191,7 +200,7 @@ func (w *World) HarvestLogsParallel(heatFrom, heatTo time.Time, parallelism int)
 		parallelism = 1
 	}
 
-	names := stats.NewStringSet(0)
+	names := h.NameSet
 	run := func(p *partialHarvest, t harvestTask) error {
 		return t.log.StreamEntries(t.start, t.end, func(e *ctlog.Entry) error {
 			p.observe(h, names, t.logName, e)
@@ -241,7 +250,6 @@ func (w *World) HarvestLogsParallel(heatFrom, heatTo time.Time, parallelism int)
 	for _, p := range partials {
 		p.mergeInto(h)
 	}
-	h.NameSet = names
 	return h, nil
 }
 

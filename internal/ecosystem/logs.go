@@ -1,6 +1,8 @@
 package ecosystem
 
 import (
+	"path/filepath"
+	"strings"
 	"time"
 
 	"ctrise/internal/ctlog"
@@ -56,7 +58,10 @@ var logSpecs = []logSpec{
 // buildLogs instantiates the named logs on the shared clock. Logs use the
 // simulation fast signer; nimbusCapacity, if positive, rate-limits the
 // Nimbus2018 log so the overload incident of Section 2 can be reproduced.
-func buildLogs(clock *Clock, nimbusCapacity float64) (map[string]*ctlog.Log, error) {
+// A non-empty dataDir makes every log durable in its own subdirectory
+// (resuming from existing state on reopen), with WAL fsyncs batched at
+// the sequencing barriers — the replay's natural durability unit.
+func buildLogs(clock *Clock, nimbusCapacity float64, dataDir string) (map[string]*ctlog.Log, error) {
 	out := make(map[string]*ctlog.Log, len(logSpecs))
 	for _, spec := range logSpecs {
 		cfg := ctlog.Config{
@@ -70,11 +75,48 @@ func buildLogs(clock *Clock, nimbusCapacity float64) (map[string]*ctlog.Log, err
 		if spec.name == LogNimbus2018 && nimbusCapacity > 0 {
 			cfg.CapacityPerSecond = nimbusCapacity
 		}
-		l, err := ctlog.New(cfg)
+		var (
+			l   *ctlog.Log
+			err error
+		)
+		if dataDir != "" {
+			cfg.Sync = ctlog.SyncAtSequence
+			l, err = ctlog.Open(filepath.Join(dataDir, logDirName(spec.name)), cfg)
+		} else {
+			l, err = ctlog.New(cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
 		out[spec.name] = l
 	}
 	return out, nil
+}
+
+// logDirName maps a display name ("Google Pilot log") to a filesystem-
+// safe directory name ("google-pilot-log").
+func logDirName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, name)
+}
+
+// Close closes every log, flushing final snapshots on durable worlds.
+// In-memory worlds close trivially. The first error wins; all logs are
+// closed regardless.
+func (w *World) Close() error {
+	var firstErr error
+	for _, name := range w.LogNames {
+		if err := w.Logs[name].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

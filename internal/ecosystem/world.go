@@ -36,6 +36,13 @@ type Config struct {
 	// (HarvestLogs). 0 means GOMAXPROCS; 1 forces the sequential paths.
 	// Output is identical at every setting.
 	Parallelism int
+	// DataDir, when set, makes every log durable: each gets a WAL +
+	// snapshot subdirectory under DataDir and can be reopened after a
+	// crash or restart mid-timeline (ctlog.Open). Logs run with
+	// SyncAtSequence — entries fsync at the per-day seal/publish
+	// barriers, not per submission — because the replay's durability
+	// unit is the day batch. Empty means in-memory logs (the default).
+	DataDir string
 }
 
 // Domain is one registrable domain of the population.
@@ -85,7 +92,7 @@ func New(cfg Config) (*World, error) {
 		PSL:   psl.Default(),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
-	logs, err := buildLogs(w.Clock, cfg.NimbusCapacity)
+	logs, err := buildLogs(w.Clock, cfg.NimbusCapacity, cfg.DataDir)
 	if err != nil {
 		return nil, err
 	}
