@@ -1,0 +1,111 @@
+// Command ctfront runs a standalone multi-log CT submission frontend:
+// one HTTP endpoint that fans add-chain/add-pre-chain submissions out
+// to a pool of backend logs until the collected SCTs satisfy the
+// Chrome CT policy, then returns the whole bundle.
+//
+// Usage:
+//
+//	ctfront [-addr 127.0.0.1:8765] [-seed N] [-timeout 10s] [-hedge 0]
+//	        -backend "name,operator,url[,google]" [-backend ...]
+//
+// Each -backend names one log reachable over the ct/v1 HTTP API (for
+// example a cmd/ctlogd instance): a display name, the operator
+// organization the policy's diversity rules group by, the base URL,
+// and an optional trailing "google" marking a Google-operated log. The
+// pool needs at least one Google-operated and one non-Google backend
+// for any submission to succeed.
+//
+// The frontend serves POST /ctfront/v1/add-chain and
+// /ctfront/v1/add-pre-chain (ct/v1 request bodies; the response carries
+// one SCT per contributing log) and GET /ctfront/v1/health (per-backend
+// health, consecutive failures, and backoff state). -seed fixes the
+// deterministic backend ranking, -timeout bounds each backend attempt,
+// and -hedge engages a spare backend when a planned one is slower than
+// the given delay (0 disables hedging, keeping routing deterministic).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ctrise/internal/ctclient"
+	"ctrise/internal/ctfront"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8765", "listen address")
+	seed := flag.Int64("seed", 1, "seed for the deterministic backend ranking")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-backend submission timeout (0 = caller's deadline only)")
+	hedge := flag.Duration("hedge", 0, "engage a spare backend when a planned one is slower than this (0 = off)")
+	backoffBase := flag.Duration("backoff-base", time.Second, "backoff after a backend's first consecutive failure (doubles per failure)")
+	backoffMax := flag.Duration("backoff-max", 5*time.Minute, "backoff ceiling per backend")
+	var specs []ctfront.BackendSpec
+	flag.Func("backend", `backend log as "name,operator,url[,google]" (repeatable)`, func(v string) error {
+		parts := strings.Split(v, ",")
+		if len(parts) < 3 || len(parts) > 4 {
+			return fmt.Errorf("want name,operator,url[,google], got %q", v)
+		}
+		name, operator, url := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2])
+		if name == "" || operator == "" || url == "" {
+			return fmt.Errorf("empty field in %q", v)
+		}
+		google := false
+		if len(parts) == 4 {
+			switch strings.TrimSpace(parts[3]) {
+			case "google":
+				google = true
+			default:
+				return fmt.Errorf("trailing field must be \"google\", got %q", parts[3])
+			}
+		}
+		specs = append(specs, ctfront.BackendSpec{
+			Backend:        ctclient.NewSubmitter(name, ctclient.New(url, nil)),
+			Operator:       operator,
+			GoogleOperated: google,
+		})
+		return nil
+	})
+	flag.Parse()
+
+	front, err := ctfront.New(ctfront.Config{
+		Backends:    specs,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		Hedge:       *hedge,
+		BackoffBase: *backoffBase,
+		BackoffMax:  *backoffMax,
+	})
+	if err != nil {
+		log.Fatalf("ctfront: %v", err)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: front.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ctfront: serving %d backends on http://%s", len(specs), *addr)
+		errCh <- server.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("ctfront: %v", err)
+	case sig := <-sigCh:
+		log.Printf("ctfront: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("ctfront: shutdown: %v", err)
+		}
+	}
+}

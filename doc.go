@@ -12,6 +12,19 @@
 // the Section 5 phishing detector, and the Section 6 CT honeypot with a
 // calibrated attacker population.
 //
+// On top of the logs sits a multi-log submission frontend
+// (internal/ctfront, served standalone by cmd/ctfront): one endpoint
+// that fans add-chain/add-pre-chain submissions out to a pool of
+// backend logs — in-process or remote over ct/v1 — until the collected
+// SCTs satisfy the Chrome CT policy (internal/policy: minimum count by
+// certificate lifetime, operator diversity, one Google and one
+// non-Google log). Backend selection is a deterministic, seed-derived
+// ranking, failures re-plan the remaining policy gap onto spares with
+// per-backend exponential backoff, and slow backends can be hedged.
+// The ecosystem timeline optionally drives all issuance through it
+// (ecosystem.Config.UseFrontend) with byte-identical per-log trees at
+// any parallelism.
+//
 // The CT log itself is a two-phase stage → sequence pipeline, the shape
 // real logs have: AddChain/AddPreChain hash and sign entirely outside
 // the log mutex and stage the accepted entry into a pending batch (the
@@ -83,6 +96,9 @@
 // at parallelism 1, 4, and 13).
 //
 // Every table and figure of the paper is regenerated by a benchmark in
-// bench_test.go and rendered by cmd/ctrise. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured comparisons.
+// bench_test.go and rendered by cmd/ctrise. See README.md for the
+// quickstart and the experiment-to-package map, and ARCHITECTURE.md for
+// the log's stage → sequence → persist → publish lifecycle, the
+// WAL/snapshot crash-consistency contract, and where the submission
+// frontend sits.
 package ctrise

@@ -1,4 +1,4 @@
-// Honeypot demonstrates Section 6 live, with real sockets: a honeypot
+// Example honeypot demonstrates Section 6 live, with real sockets: a honeypot
 // subdomain is leaked through a CT log served over HTTP; an attacker
 // process streams the log, spots the new name, and resolves it against
 // the honeypot's authoritative DNS server over UDP (leaking its EDNS

@@ -1,4 +1,4 @@
-// Phishhunt demonstrates Section 5 as a live pipeline: a CertStream-style
+// Example phishhunt demonstrates Section 5 as a live pipeline: a CertStream-style
 // monitor tails a CT log while a "phisher" obtains certificates for
 // lookalike domains; the detector flags them within one poll interval —
 // exactly the defensive monitoring the paper proposes.

@@ -1,4 +1,4 @@
-// Quickstart: run a CT log, issue a certificate through a CA with the
+// Example quickstart: run a CT log, issue a certificate through a CA with the
 // RFC 6962 precertificate flow, and verify both the embedded SCTs and a
 // Merkle inclusion proof — the whole trust chain, end to end, over the
 // real ct/v1 HTTP API.

@@ -1,4 +1,4 @@
-// Subenum demonstrates the Section 4 pipeline on a small synthetic world:
+// Example subenum demonstrates the Section 4 pipeline on a small synthetic world:
 // a CT name corpus is parsed into a subdomain-label census (Table 2),
 // candidate FQDNs are constructed from frequent labels, and a
 // massdns-style verifier with pseudorandom control names separates real

@@ -12,6 +12,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"time"
@@ -26,6 +29,23 @@ var (
 	ErrHTTPStatus = errors.New("ctclient: unexpected HTTP status")
 	ErrBadBody    = errors.New("ctclient: malformed response body")
 )
+
+// StatusError is a non-200 HTTP response, carrying the status code so
+// callers (the Monitor's retry loop in particular) can tell transient
+// server-side failures (5xx) from permanent request errors (4xx). It
+// matches errors.Is(err, ErrHTTPStatus).
+type StatusError struct {
+	Code int
+	Path string
+}
+
+// Error formats the status like the pre-typed error did.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%v: %d %s on %s", ErrHTTPStatus, e.Code, http.StatusText(e.Code), e.Path)
+}
+
+// Is keeps errors.Is(err, ErrHTTPStatus) working.
+func (e *StatusError) Is(target error) bool { return target == ErrHTTPStatus }
 
 // Client talks to one log over HTTP.
 type Client struct {
@@ -64,12 +84,24 @@ func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%w: %s on %s", ErrHTTPStatus, resp.Status, path)
+		return &StatusError{Code: resp.StatusCode, Path: path}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadBody, err)
+		return bodyError(path, err)
 	}
 	return nil
+}
+
+// bodyError classifies a response-body decode failure: a body cut off
+// mid-stream (the server died, the connection reset) is a transport
+// failure and keeps its cause reachable for the Monitor's transient-
+// error retry; genuine JSON garbage is a permanent ErrBadBody.
+func bodyError(path string, err error) error {
+	var ne net.Error
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) || errors.As(err, &ne) {
+		return fmt.Errorf("ctclient: truncated response on %s: %w", path, err)
+	}
+	return fmt.Errorf("%w: %v", ErrBadBody, err)
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
@@ -91,10 +123,10 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 		return ctlog.ErrOverloaded
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%w: %s on %s", ErrHTTPStatus, resp.Status, path)
+		return &StatusError{Code: resp.StatusCode, Path: path}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadBody, err)
+		return bodyError(path, err)
 	}
 	return nil
 }
@@ -147,6 +179,32 @@ func responseToSCT(resp ctlog.AddChainResponse) (*sct.SignedCertificateTimestamp
 	}
 	copy(out.LogID[:], idBytes)
 	return out, nil
+}
+
+// Submitter adapts a Client to the submission interface multi-log
+// frontends consume (ctfront.Backend): a named remote log reachable
+// over the ct/v1 API. The embedded Client's read methods stay
+// available; AddPreChain is redeclared with the frontend's
+// (issuerKeyHash, tbs) argument order.
+type Submitter struct {
+	*Client
+	name string
+}
+
+// NewSubmitter returns a Submitter for the log at c under the given
+// display name.
+func NewSubmitter(name string, c *Client) *Submitter {
+	return &Submitter{Client: c, name: name}
+}
+
+// Name identifies the remote log in frontend bundles and health
+// reports.
+func (s *Submitter) Name() string { return s.name }
+
+// AddPreChain submits a precertificate, taking the issuer key hash
+// first like ctlog.Log.AddPreChain does.
+func (s *Submitter) AddPreChain(ctx context.Context, issuerKeyHash [32]byte, tbs []byte) (*sct.SignedCertificateTimestamp, error) {
+	return s.Client.AddPreChain(ctx, tbs, issuerKeyHash)
 }
 
 // GetSTH fetches and, if a verifier is configured, cryptographically
@@ -268,6 +326,19 @@ type Monitor struct {
 	// the whole remaining range in one call and lets the server's page
 	// limit decide the batch size.
 	Batch uint64
+	// MaxRetries bounds re-attempts after a transient fetch failure — a
+	// 5xx status or a transport-level error, the blips a long-running
+	// harvest rides out rather than dies on. Each failed call is
+	// retried up to MaxRetries times with jittered exponential backoff
+	// before the error propagates; permanent errors (4xx, malformed
+	// bodies, failed proofs, context cancellation) never retry. 0
+	// disables retrying. NewMonitor defaults to 3.
+	MaxRetries int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// further attempt, each with up to 50% random jitter added so a
+	// fleet of monitors does not re-converge on a struggling log in
+	// lockstep. NewMonitor defaults to 100ms.
+	RetryBase time.Duration
 
 	lastSTH *ctlog.SignedTreeHead
 	nextIdx uint64
@@ -276,7 +347,67 @@ type Monitor struct {
 
 // NewMonitor returns a monitor starting from index 0.
 func NewMonitor(client *Client) *Monitor {
-	return &Monitor{Client: client, Batch: 256}
+	return &Monitor{Client: client, Batch: 256, MaxRetries: 3, RetryBase: 100 * time.Millisecond}
+}
+
+// transientError reports whether a fetch failure is worth retrying:
+// server-side 5xx statuses and transport errors are; caller-side 4xx,
+// malformed bodies, verification failures, and context cancellation
+// are not. ErrOverloaded (429) is deliberately not transient here —
+// it is the log's explicit backpressure signal and callers model it.
+func transientError(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true // response body cut off mid-stream
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// maxRetryBackoff caps the Monitor's per-attempt retry sleep, so a
+// large MaxRetries budget bounds total wait at roughly
+// MaxRetries × maxRetryBackoff instead of doubling without limit.
+const maxRetryBackoff = 30 * time.Second
+
+// retry runs fn, re-attempting transient failures up to MaxRetries
+// times with jittered exponential backoff (RetryBase doubling per
+// attempt, capped at maxRetryBackoff). The sleep respects ctx; on
+// cancellation mid-backoff the last fetch error is returned (the
+// caller's next ctx check reports the cancellation).
+func (m *Monitor) retry(ctx context.Context, fn func() error) error {
+	base := m.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || attempt >= m.MaxRetries || !transientError(err) {
+			return err
+		}
+		d := base << attempt
+		if d <= 0 || d > maxRetryBackoff {
+			// Cap reached — or the shift overflowed past it.
+			d = maxRetryBackoff
+		}
+		d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return err
+		case <-timer.C:
+		}
+	}
 }
 
 // NewMonitorAt returns a monitor that resumes from entry index next —
@@ -325,8 +456,11 @@ func (m *Monitor) StreamEntries(ctx context.Context, start, end uint64, fn func(
 		if m.Batch > 0 && next+m.Batch-1 < end {
 			reqEnd = next + m.Batch - 1
 		}
-		batch, err := m.Client.GetEntries(ctx, next, reqEnd)
-		if err != nil {
+		var batch []*ctlog.Entry
+		if err := m.retry(ctx, func() (err error) {
+			batch, err = m.Client.GetEntries(ctx, next, reqEnd)
+			return err
+		}); err != nil {
 			return next, err
 		}
 		if len(batch) == 0 {
@@ -361,16 +495,22 @@ func (m *Monitor) StreamEntries(ctx context.Context, start, end uint64, fn func(
 // When a previous STH exists, the monitor verifies log consistency before
 // consuming new entries, so a forked log is detected rather than followed.
 func (m *Monitor) Poll(ctx context.Context, fn func(*ctlog.Entry) error) error {
-	sth, err := m.Client.GetSTH(ctx)
-	if err != nil {
+	var sth ctlog.SignedTreeHead
+	if err := m.retry(ctx, func() (err error) {
+		sth, err = m.Client.GetSTH(ctx)
+		return err
+	}); err != nil {
 		return err
 	}
 	// Consistency with the previous head, when there was one. A previous
 	// size of 0 is trivially consistent with anything, and logs reject
 	// get-sth-consistency with first=0, so no proof is requested then.
 	if m.lastSTH != nil && sth.TreeHead.TreeSize > m.lastSTH.TreeHead.TreeSize && m.lastSTH.TreeHead.TreeSize > 0 {
-		proof, err := m.Client.GetConsistencyProof(ctx, m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize)
-		if err != nil {
+		var proof []merkle.Hash
+		if err := m.retry(ctx, func() (err error) {
+			proof, err = m.Client.GetConsistencyProof(ctx, m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize)
+			return err
+		}); err != nil {
 			return err
 		}
 		if err := merkle.VerifyConsistency(

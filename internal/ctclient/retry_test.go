@@ -1,0 +1,262 @@
+package ctclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/sct"
+)
+
+// flakyHandler wraps a real log handler, failing the first failures
+// requests to each path with the given status.
+type flakyHandler struct {
+	inner    http.Handler
+	status   int
+	failures int
+	counts   map[string]*atomic.Int64
+	total    atomic.Int64
+}
+
+func newFlakyHandler(inner http.Handler, status, failures int) *flakyHandler {
+	return &flakyHandler{inner: inner, status: status, failures: failures, counts: map[string]*atomic.Int64{}}
+}
+
+func (h *flakyHandler) count(path string) *atomic.Int64 {
+	// Registered before the server starts serving; the map itself is
+	// only read concurrently.
+	c, ok := h.counts[path]
+	if !ok {
+		c = &atomic.Int64{}
+		h.counts[path] = c
+	}
+	return c
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.total.Add(1)
+	c, ok := h.counts[r.URL.Path]
+	if !ok {
+		h.inner.ServeHTTP(w, r)
+		return
+	}
+	if n := c.Add(1); n <= int64(h.failures) {
+		http.Error(w, "transient failure", h.status)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// newMonitoredLog builds a log with a few published entries.
+func newMonitoredLog(t *testing.T, entries int) *ctlog.Log {
+	t.Helper()
+	l, err := ctlog.New(ctlog.Config{Name: "Flaky Log", Signer: sct.NewFastSigner("Flaky Log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		if _, err := l.AddChain([]byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// fastRetryMonitor returns a monitor with a negligible backoff so the
+// tests exercise the retry logic, not the wall clock.
+func fastRetryMonitor(c *Client) *Monitor {
+	m := NewMonitor(c)
+	m.RetryBase = time.Microsecond
+	return m
+}
+
+func TestMonitorRetriesTransient5xx(t *testing.T) {
+	l := newMonitoredLog(t, 10)
+	flaky := newFlakyHandler(l.Handler(), http.StatusServiceUnavailable, 2)
+	flaky.count("/ct/v1/get-sth")
+	flaky.count("/ct/v1/get-entries")
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	m := fastRetryMonitor(New(srv.URL, l.Verifier()))
+	var got int
+	if err := m.Poll(context.Background(), func(*ctlog.Entry) error { got++; return nil }); err != nil {
+		t.Fatalf("Poll should have ridden out 2 consecutive 503s per path: %v", err)
+	}
+	if got != 10 {
+		t.Fatalf("delivered %d entries, want 10", got)
+	}
+	if n := flaky.count("/ct/v1/get-sth").Load(); n != 3 {
+		t.Fatalf("get-sth hit %d times, want 3 (2 failures + 1 success)", n)
+	}
+}
+
+func TestMonitorRetryGivesUpAfterMaxRetries(t *testing.T) {
+	l := newMonitoredLog(t, 4)
+	// More failures than the budget allows: 1 attempt + 3 retries < 10.
+	flaky := newFlakyHandler(l.Handler(), http.StatusInternalServerError, 10)
+	flaky.count("/ct/v1/get-sth")
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	m := fastRetryMonitor(New(srv.URL, l.Verifier()))
+	err := m.Poll(context.Background(), func(*ctlog.Entry) error { return nil })
+	if !errors.Is(err, ErrHTTPStatus) {
+		t.Fatalf("err = %v, want ErrHTTPStatus after retries exhausted", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want StatusError{500}", err)
+	}
+	if n := flaky.count("/ct/v1/get-sth").Load(); n != 4 {
+		t.Fatalf("get-sth hit %d times, want 4 (1 attempt + MaxRetries=3)", n)
+	}
+}
+
+func TestMonitorDoesNotRetryPermanentErrors(t *testing.T) {
+	l := newMonitoredLog(t, 4)
+	flaky := newFlakyHandler(l.Handler(), http.StatusNotFound, 100)
+	flaky.count("/ct/v1/get-sth")
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	m := fastRetryMonitor(New(srv.URL, l.Verifier()))
+	err := m.Poll(context.Background(), func(*ctlog.Entry) error { return nil })
+	if !errors.Is(err, ErrHTTPStatus) {
+		t.Fatalf("err = %v, want ErrHTTPStatus", err)
+	}
+	if n := flaky.count("/ct/v1/get-sth").Load(); n != 1 {
+		t.Fatalf("a 404 was retried: get-sth hit %d times, want 1", n)
+	}
+}
+
+func TestMonitorRetriesNetworkError(t *testing.T) {
+	// A server that dies after the STH fetch: the first get-entries
+	// gets a connection error. The monitor must classify it transient
+	// and retry (against the still-dead server), then surface the error
+	// with progress intact — and a later Poll against a revived server
+	// at the same address is beyond httptest, so just check the retry
+	// count via elapsed attempts on a third server that revives.
+	l := newMonitoredLog(t, 6)
+	flaky := newFlakyHandler(l.Handler(), http.StatusBadGateway, 1)
+	flaky.count("/ct/v1/get-entries")
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	// 502 on the first get-entries only: StreamEntries must recover
+	// mid-walk without gaps or duplicates.
+	m := fastRetryMonitor(New(srv.URL, l.Verifier()))
+	m.Batch = 2
+	var indices []uint64
+	next, err := m.StreamEntries(context.Background(), 0, 5, func(e *ctlog.Entry) error {
+		indices = append(indices, e.Index)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 6 || len(indices) != 6 {
+		t.Fatalf("next=%d, %d entries delivered, want 6 and 6", next, len(indices))
+	}
+	for i, idx := range indices {
+		if uint64(i) != idx {
+			t.Fatalf("gap or duplicate at %d: got index %d", i, idx)
+		}
+	}
+
+	// True transport-level error: nothing listening.
+	dead := New("http://127.0.0.1:1", nil)
+	dm := fastRetryMonitor(dead)
+	dm.MaxRetries = 2
+	if err := dm.Poll(context.Background(), func(*ctlog.Entry) error { return nil }); err == nil {
+		t.Fatal("Poll against a dead address succeeded")
+	} else if errors.Is(err, ErrHTTPStatus) {
+		t.Fatalf("connection error misclassified as HTTP status: %v", err)
+	}
+}
+
+func TestMonitorRetriesTruncatedBody(t *testing.T) {
+	// The server dies mid-response: a 200 header goes out, the JSON
+	// body is cut off. That is a transient transport failure — the
+	// monitor must retry it, not classify it as a malformed body.
+	l := newMonitoredLog(t, 5)
+	inner := l.Handler()
+	var aborted atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/ct/v1/get-sth" && aborted.Add(1) <= 2 {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"tree_size": 5, "timesta`))
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	m := fastRetryMonitor(New(srv.URL, l.Verifier()))
+	var got int
+	if err := m.Poll(context.Background(), func(*ctlog.Entry) error { got++; return nil }); err != nil {
+		t.Fatalf("Poll should have ridden out 2 truncated bodies: %v", err)
+	}
+	if got != 5 {
+		t.Fatalf("delivered %d entries, want 5", got)
+	}
+	if n := aborted.Load(); n != 3 {
+		t.Fatalf("get-sth hit %d times, want 3 (2 aborted + 1 clean)", n)
+	}
+
+	// Genuine garbage stays permanent: no retry.
+	var bad atomic.Int64
+	badSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bad.Add(1)
+		w.Write([]byte(`{"tree_size": "not a number"}`))
+	}))
+	defer badSrv.Close()
+	bm := fastRetryMonitor(New(badSrv.URL, nil))
+	if err := bm.Poll(context.Background(), func(*ctlog.Entry) error { return nil }); !errors.Is(err, ErrBadBody) {
+		t.Fatalf("err = %v, want ErrBadBody", err)
+	}
+	if n := bad.Load(); n != 1 {
+		t.Fatalf("malformed JSON was retried: %d requests, want 1", n)
+	}
+}
+
+func TestMonitorRetryRespectsContextCancellation(t *testing.T) {
+	l := newMonitoredLog(t, 2)
+	flaky := newFlakyHandler(l.Handler(), http.StatusServiceUnavailable, 1000)
+	flaky.count("/ct/v1/get-sth")
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	m := fastRetryMonitor(New(srv.URL, l.Verifier()))
+	m.RetryBase = time.Hour // the sleep must be interrupted, not served
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for flaky.count("/ct/v1/get-sth").Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Poll(ctx, func(*ctlog.Entry) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Poll succeeded against an always-failing server")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("retry sleep ignored context cancellation")
+	}
+}

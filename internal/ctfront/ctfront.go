@@ -1,0 +1,552 @@
+// Package ctfront implements a multi-log CT submission frontend: one
+// endpoint that accepts add-chain/add-pre-chain submissions and fans
+// them out concurrently to a pool of backend logs until the collected
+// SCTs form a Chrome-CT-policy-compliant set (internal/policy), then
+// returns the whole bundle. It is the client-side half of the policy
+// the paper's Section 2 measures — certificates are only trusted with
+// SCTs from a diverse set of logs, so CAs in practice submit through
+// exactly this kind of fan-out.
+//
+// The frontend plans each submission with policy.SelectCompliant over a
+// deterministic, seed-derived preference ranking of the healthy
+// backends: the ranking is a pure function of (seed, submission
+// identity, backend name), so a replayed workload routes identically at
+// any concurrency — the property the ecosystem equivalence tests pin
+// down. Failures re-plan against the remaining candidates: the gap the
+// failed backend leaves (its Google/non-Google role, its SCT count) is
+// re-closed from the next-ranked spare, and per-backend consecutive-
+// failure backoff keeps a dead backend out of subsequent plans until
+// its penalty expires. Optionally (Config.Hedge) a backend that has not
+// answered within the hedge delay is presumed slow and a spare is
+// engaged concurrently — whichever answers first contributes to the
+// bundle; hedging trades determinism for tail latency, so deterministic
+// replays leave it off.
+//
+// Backends are anything implementing Backend: in-process logs
+// (LocalLog wraps *ctlog.Log) or remote logs over the ct/v1 HTTP API
+// (ctclient.Submitter). Handler serves the frontend's own HTTP API;
+// cmd/ctfront is the standalone server.
+package ctfront
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ctrise/internal/certs"
+	"ctrise/internal/policy"
+	"ctrise/internal/sct"
+	"ctrise/internal/stats"
+)
+
+// Errors returned by the frontend.
+var (
+	// ErrNoBackends means the frontend was configured without backends.
+	ErrNoBackends = errors.New("ctfront: no backends configured")
+	// ErrSubmission wraps a fan-out that could not assemble a compliant
+	// SCT set: every viable plan was exhausted by backend failures.
+	ErrSubmission = errors.New("ctfront: could not assemble a policy-compliant SCT set")
+)
+
+// Backend is one log the frontend can submit to. *ctlog.Log wrapped in
+// LocalLog and *ctclient.Submitter both satisfy it. Implementations
+// must be safe for concurrent use; calls must respect ctx.
+type Backend interface {
+	// Name identifies the log in bundles and health reports.
+	Name() string
+	// AddChain submits a final certificate (x509_entry).
+	AddChain(ctx context.Context, cert []byte) (*sct.SignedCertificateTimestamp, error)
+	// AddPreChain submits a precertificate (precert_entry).
+	AddPreChain(ctx context.Context, issuerKeyHash [32]byte, tbs []byte) (*sct.SignedCertificateTimestamp, error)
+}
+
+// LocalLog adapts an in-process *ctlog.Log to the Backend interface.
+// The underlying calls are synchronous and fast (staging is a few map
+// operations), so ctx is only checked up front.
+type LocalLog struct {
+	Log interface {
+		Name() string
+		AddChain(cert []byte) (*sct.SignedCertificateTimestamp, error)
+		AddPreChain(issuerKeyHash [32]byte, tbs []byte) (*sct.SignedCertificateTimestamp, error)
+	}
+}
+
+// Name returns the wrapped log's name.
+func (b LocalLog) Name() string { return b.Log.Name() }
+
+// AddChain submits to the wrapped log after a context check.
+func (b LocalLog) AddChain(ctx context.Context, cert []byte) (*sct.SignedCertificateTimestamp, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Log.AddChain(cert)
+}
+
+// AddPreChain submits to the wrapped log after a context check.
+func (b LocalLog) AddPreChain(ctx context.Context, issuerKeyHash [32]byte, tbs []byte) (*sct.SignedCertificateTimestamp, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Log.AddPreChain(issuerKeyHash, tbs)
+}
+
+// BackendSpec pairs a Backend with its policy metadata.
+type BackendSpec struct {
+	Backend Backend
+	// Operator is the organization running the log (operator-diversity
+	// rule). Defaults to the backend name when empty.
+	Operator string
+	// GoogleOperated marks Google's own logs (the one-Google rule).
+	GoogleOperated bool
+}
+
+// Config configures a Frontend.
+type Config struct {
+	// Backends is the log pool. At least one Google-operated and one
+	// non-Google backend are needed for any submission to succeed.
+	Backends []BackendSpec
+	// Seed drives the deterministic per-submission backend ranking.
+	// Same seed, same routing — the replay tests depend on it.
+	Seed int64
+	// Timeout bounds each backend submission attempt. 0 means no
+	// per-attempt timeout (the caller's ctx still applies).
+	Timeout time.Duration
+	// Hedge, when positive, engages a spare backend if a planned one
+	// has not answered within this delay, racing the two. 0 disables
+	// hedging (the deterministic posture).
+	Hedge time.Duration
+	// BackoffBase is the penalty after a backend's first consecutive
+	// failure; it doubles per further failure up to BackoffMax.
+	// Defaults: 1s base, 5m max.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DefaultLifetime is the certificate lifetime assumed when a
+	// submission's validity window cannot be parsed from its bytes
+	// (policy.MinSCTs scales the SCT count with lifetime). Defaults to
+	// 90 days.
+	DefaultLifetime time.Duration
+	// Clock supplies the frontend's notion of now, for backoff
+	// bookkeeping. Defaults to time.Now. Experiments install a virtual
+	// clock.
+	Clock func() time.Time
+}
+
+// BundleSCT is one SCT of a bundle, attributed to its log.
+type BundleSCT struct {
+	LogName  string
+	Operator string
+	SCT      *sct.SignedCertificateTimestamp
+}
+
+// Bundle is the result of one fan-out: the SCTs collected by the time
+// the set became policy-compliant. Hedged races can leave one SCT more
+// than the minimal plan; extra SCTs never hurt compliance.
+type Bundle struct {
+	SCTs []BundleSCT
+}
+
+// LogNames returns the bundle's log names in collection order.
+func (b *Bundle) LogNames() []string {
+	out := make([]string, len(b.SCTs))
+	for i, s := range b.SCTs {
+		out[i] = s.LogName
+	}
+	return out
+}
+
+// candidates converts the bundle to the policy view.
+func (b *Bundle) candidates(f *Frontend) []policy.Candidate {
+	out := make([]policy.Candidate, len(b.SCTs))
+	for i, s := range b.SCTs {
+		out[i] = policy.Candidate{Name: s.LogName, Operator: s.Operator, GoogleOperated: f.googleByName[s.LogName]}
+	}
+	return out
+}
+
+// backendState is one backend plus its mutable health.
+type backendState struct {
+	spec BackendSpec
+	cand policy.Candidate
+
+	mu           sync.Mutex
+	consecFails  int
+	backoffUntil time.Time
+	successes    uint64
+	failures     uint64
+	hedged       uint64
+}
+
+// healthyAt reports whether the backend is outside its failure penalty.
+func (s *backendState) healthyAt(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !now.Before(s.backoffUntil)
+}
+
+func (s *backendState) recordSuccess() {
+	s.mu.Lock()
+	s.consecFails = 0
+	s.backoffUntil = time.Time{}
+	s.successes++
+	s.mu.Unlock()
+}
+
+func (s *backendState) recordFailure(now time.Time, base, maxPenalty time.Duration) {
+	s.mu.Lock()
+	s.failures++
+	s.consecFails++
+	penalty := base << (s.consecFails - 1)
+	if penalty > maxPenalty || penalty <= 0 {
+		penalty = maxPenalty
+	}
+	s.backoffUntil = now.Add(penalty)
+	s.mu.Unlock()
+}
+
+// Frontend fans submissions out to a backend pool until the collected
+// SCT set is policy-compliant. All methods are safe for concurrent use.
+type Frontend struct {
+	cfg          Config
+	backends     []*backendState
+	googleByName map[string]bool
+}
+
+// New validates cfg and assembles a Frontend.
+func New(cfg Config) (*Frontend, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = time.Second
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Minute
+	}
+	if cfg.DefaultLifetime <= 0 {
+		cfg.DefaultLifetime = 90 * 24 * time.Hour
+	}
+	f := &Frontend{cfg: cfg, googleByName: make(map[string]bool, len(cfg.Backends))}
+	seen := make(map[string]bool, len(cfg.Backends))
+	for _, spec := range cfg.Backends {
+		name := spec.Backend.Name()
+		if seen[name] {
+			return nil, fmt.Errorf("ctfront: duplicate backend name %q", name)
+		}
+		seen[name] = true
+		if spec.Operator == "" {
+			spec.Operator = name
+		}
+		f.backends = append(f.backends, &backendState{
+			spec: spec,
+			cand: policy.Candidate{Name: name, Operator: spec.Operator, GoogleOperated: spec.GoogleOperated},
+		})
+		f.googleByName[name] = spec.GoogleOperated
+	}
+	return f, nil
+}
+
+// AddChain fans a final certificate out until the SCT set is compliant.
+func (f *Frontend) AddChain(ctx context.Context, cert []byte) (*Bundle, error) {
+	id := submissionID(sct.X509Entry(cert))
+	return f.submit(ctx, id, f.lifetimeOf(cert), func(ctx context.Context, b Backend) (*sct.SignedCertificateTimestamp, error) {
+		return b.AddChain(ctx, cert)
+	})
+}
+
+// AddPreChain fans a precertificate out until the SCT set is compliant.
+func (f *Frontend) AddPreChain(ctx context.Context, issuerKeyHash [32]byte, tbs []byte) (*Bundle, error) {
+	id := submissionID(sct.PrecertEntry(issuerKeyHash, tbs))
+	return f.submit(ctx, id, f.lifetimeOf(tbs), func(ctx context.Context, b Backend) (*sct.SignedCertificateTimestamp, error) {
+		return b.AddPreChain(ctx, issuerKeyHash, tbs)
+	})
+}
+
+// lifetimeOf extracts the validity window from the submission bytes
+// (certificates and TBSes share the synthetic codec). Backend logs
+// accept opaque bytes, so an unparseable submission is not rejected —
+// it is planned under DefaultLifetime.
+func (f *Frontend) lifetimeOf(data []byte) time.Duration {
+	c, err := certs.Decode(data)
+	if err != nil || !c.NotAfter.After(c.NotBefore) {
+		return f.cfg.DefaultLifetime
+	}
+	return c.NotAfter.Sub(c.NotBefore)
+}
+
+// submissionID hashes the submission identity — the same bytes a log
+// dedupes on — for the deterministic ranking.
+func submissionID(ce sct.CertificateEntry) uint64 {
+	h := sha256.New()
+	h.Write([]byte{0x00, byte(ce.Type)})
+	if ce.Type == sct.PrecertLogEntryType {
+		h.Write(ce.IssuerKeyHash[:])
+		h.Write(ce.TBS)
+	} else {
+		h.Write(ce.Cert)
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// rankMix steps the shared splitmix64 finalizer (stats.Mix64) the way
+// the generator does — golden-ratio increment, then finalize — so the
+// ranking rides the same mixer as the ecosystem's seed-splitting.
+func rankMix(z uint64) uint64 { return stats.Mix64(z + 0x9e3779b97f4a7c15) }
+
+// rank returns the pool indices in this submission's deterministic
+// preference order: sorted by mix64(seed, submission id, backend name).
+// The order depends on nothing mutable, so identical workloads route
+// identically regardless of concurrency or scheduling.
+func (f *Frontend) rank(id uint64) []int {
+	type ranked struct {
+		idx int
+		key uint64
+	}
+	rs := make([]ranked, len(f.backends))
+	for i, s := range f.backends {
+		rs[i] = ranked{i, rankMix(uint64(f.cfg.Seed) ^ rankMix(id) ^ stats.Hash64(s.cand.Name))}
+	}
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].key != rs[b].key {
+			return rs[a].key < rs[b].key
+		}
+		return f.backends[rs[a].idx].cand.Name < f.backends[rs[b].idx].cand.Name
+	})
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.idx
+	}
+	return out
+}
+
+// result is one backend's answer to a fan-out.
+type result struct {
+	idx int
+	sct *sct.SignedCertificateTimestamp
+	err error
+}
+
+// submit is the fan-out engine shared by AddChain and AddPreChain.
+//
+// It plans the initial backend set with policy.SelectCompliant over the
+// healthy pool in deterministic rank order, launches the plan
+// concurrently, and then runs an event loop: a success adds the SCT to
+// the bundle (done when the bundle is compliant), a failure re-plans
+// the remaining gap from untried spares, and an expired hedge timer
+// presumes the slowest in-flight backend failed and engages its spare
+// without waiting. Backends that fail accrue exponential backoff and
+// drop out of subsequent submissions' healthy pool; when the healthy
+// pool alone cannot satisfy the policy the frontend degrades gracefully
+// and plans over the full pool (trying a backed-off backend beats
+// refusing the submission).
+func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration, call func(context.Context, Backend) (*sct.SignedCertificateTimestamp, error)) (*Bundle, error) {
+	now := f.cfg.Clock()
+	order := f.rank(id)
+	healthy := order[:0:0]
+	for _, i := range order {
+		if f.backends[i].healthyAt(now) {
+			healthy = append(healthy, i)
+		}
+	}
+	pool := healthy
+	if _, err := policy.SelectCompliant(nil, f.candidatesOf(healthy), lifetime); err != nil {
+		pool = order // degraded: not enough healthy diversity, try everyone
+	}
+
+	// Buffered so stragglers (hedged losers, post-compliance answers)
+	// never block; their goroutines still record health.
+	results := make(chan result, len(f.backends))
+	bundle := &Bundle{}
+	inflight := map[int]time.Time{} // pool index -> launch time
+	tried := map[int]bool{}
+	launchSeq := map[string]int{} // log name -> launch order
+	var lastErr error
+
+	launch := func(idx int) {
+		tried[idx] = true
+		launchSeq[f.backends[idx].cand.Name] = len(launchSeq)
+		inflight[idx] = f.cfg.Clock()
+		s := f.backends[idx]
+		go func() {
+			cctx := ctx
+			if f.cfg.Timeout > 0 {
+				var cancel context.CancelFunc
+				cctx, cancel = context.WithTimeout(ctx, f.cfg.Timeout)
+				defer cancel()
+			}
+			got, err := call(cctx, s.spec.Backend)
+			switch {
+			case err == nil:
+				s.recordSuccess()
+			case ctx.Err() != nil:
+				// The caller went away (client disconnect, parent
+				// deadline) — the backend did nothing wrong, so its
+				// health is left untouched. A per-attempt Timeout expiry
+				// is different: there the parent ctx is still live and
+				// the slow backend earns its penalty.
+			default:
+				s.recordFailure(f.cfg.Clock(), f.cfg.BackoffBase, f.cfg.BackoffMax)
+			}
+			results <- result{idx, got, err}
+		}()
+	}
+
+	// plan selects and launches whatever the bundle plus the in-flight
+	// set still needs, drawing untried candidates from the pool in rank
+	// order. presumedDown excludes in-flight backends a hedge has given
+	// up on. When the remaining healthy candidates cannot close the gap
+	// the pool degrades mid-flight to the full ranking — backed-off
+	// spares included — because trying a penalized backend beats
+	// refusing the submission. It reports whether the gap is still
+	// closeable (possibly by results already in flight).
+	plan := func(presumedDown map[int]bool) bool {
+		have := bundle.candidates(f)
+		for idx := range inflight {
+			if !presumedDown[idx] {
+				have = append(have, f.backends[idx].cand)
+			}
+		}
+		untried := func() []int {
+			var out []int
+			for _, i := range pool {
+				if !tried[i] {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		cands := untried()
+		picked, err := policy.SelectCompliant(have, f.candidatesOf(cands), lifetime)
+		if err != nil && len(pool) < len(order) {
+			pool = order
+			cands = untried()
+			picked, err = policy.SelectCompliant(have, f.candidatesOf(cands), lifetime)
+		}
+		if err != nil {
+			return len(inflight) > 0
+		}
+		for _, p := range picked {
+			launch(cands[p])
+		}
+		return true
+	}
+
+	if !plan(nil) {
+		return nil, fmt.Errorf("%w: %w", ErrSubmission, policy.ErrUnsatisfiable)
+	}
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if f.cfg.Hedge > 0 {
+		hedgeTimer = time.NewTimer(f.cfg.Hedge)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	// presumedSlow accumulates across hedge ticks: a backend is counted
+	// and hedged against once per submission, however long it hangs.
+	presumedSlow := map[int]bool{}
+
+	for len(inflight) > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeC:
+			// Presume every backend that has been in flight for a full
+			// hedge delay failed, and engage its spare. The slow backend
+			// stays in flight: if it answers first after all, its SCT
+			// still counts.
+			newlySlow := false
+			cutoff := f.cfg.Clock().Add(-f.cfg.Hedge)
+			for idx, started := range inflight {
+				if !started.After(cutoff) && !presumedSlow[idx] {
+					presumedSlow[idx] = true
+					newlySlow = true
+					f.backends[idx].mu.Lock()
+					f.backends[idx].hedged++
+					f.backends[idx].mu.Unlock()
+				}
+			}
+			if newlySlow {
+				plan(presumedSlow)
+			}
+			hedgeTimer.Reset(f.cfg.Hedge)
+		case r := <-results:
+			delete(inflight, r.idx)
+			delete(presumedSlow, r.idx)
+			if r.err != nil {
+				lastErr = fmt.Errorf("%s: %w", f.backends[r.idx].cand.Name, r.err)
+				if !plan(presumedSlow) {
+					return nil, fmt.Errorf("%w: last backend error: %v", ErrSubmission, lastErr)
+				}
+				continue
+			}
+			st := f.backends[r.idx]
+			bundle.SCTs = append(bundle.SCTs, BundleSCT{LogName: st.cand.Name, Operator: st.cand.Operator, SCT: r.sct})
+			if policy.SetCompliant(bundle.candidates(f), lifetime) {
+				// Results arrive in completion order, which is scheduling
+				// noise; hand the bundle back in launch (plan) order so
+				// identical submissions produce identical bundles.
+				sort.SliceStable(bundle.SCTs, func(a, b int) bool {
+					return launchSeq[bundle.SCTs[a].LogName] < launchSeq[bundle.SCTs[b].LogName]
+				})
+				return bundle, nil
+			}
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: last backend error: %v", ErrSubmission, lastErr)
+	}
+	return nil, fmt.Errorf("%w: %w", ErrSubmission, policy.ErrUnsatisfiable)
+}
+
+func (f *Frontend) candidatesOf(indices []int) []policy.Candidate {
+	out := make([]policy.Candidate, len(indices))
+	for i, idx := range indices {
+		out[i] = f.backends[idx].cand
+	}
+	return out
+}
+
+// BackendHealth is one backend's health snapshot.
+type BackendHealth struct {
+	Name             string
+	Operator         string
+	GoogleOperated   bool
+	Healthy          bool
+	ConsecutiveFails int
+	BackoffUntil     time.Time
+	Successes        uint64
+	Failures         uint64
+	Hedged           uint64
+}
+
+// Health reports every backend's health, in configuration order.
+func (f *Frontend) Health() []BackendHealth {
+	now := f.cfg.Clock()
+	out := make([]BackendHealth, len(f.backends))
+	for i, s := range f.backends {
+		s.mu.Lock()
+		out[i] = BackendHealth{
+			Name:             s.cand.Name,
+			Operator:         s.cand.Operator,
+			GoogleOperated:   s.cand.GoogleOperated,
+			Healthy:          !now.Before(s.backoffUntil),
+			ConsecutiveFails: s.consecFails,
+			BackoffUntil:     s.backoffUntil,
+			Successes:        s.successes,
+			Failures:         s.failures,
+			Hedged:           s.hedged,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package ctfront
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/policy"
+)
+
+// JSON wire types for the frontend API, served under /ctfront/v1.
+// Requests reuse the ct/v1 add-chain body (ctlog.AddChainRequest), so a
+// client that can talk to one log can talk to the frontend; responses
+// carry one SCT per contributing log instead of one.
+
+// AddChainResponse is the frontend's answer to add-chain and
+// add-pre-chain: the policy-compliant SCT bundle.
+type AddChainResponse struct {
+	SCTs []BundleSCTResponse `json:"scts"`
+}
+
+// BundleSCTResponse is one bundle SCT: the ct/v1 SCT fields plus the
+// issuing log's identity.
+type BundleSCTResponse struct {
+	LogName  string `json:"log_name"`
+	Operator string `json:"operator"`
+	ctlog.AddChainResponse
+}
+
+// HealthResponse is the /ctfront/v1/health body.
+type HealthResponse struct {
+	Backends []BackendHealthResponse `json:"backends"`
+}
+
+// BackendHealthResponse is one backend's health snapshot on the wire.
+type BackendHealthResponse struct {
+	Name             string `json:"name"`
+	Operator         string `json:"operator"`
+	GoogleOperated   bool   `json:"google_operated"`
+	Healthy          bool   `json:"healthy"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	BackoffUntil     string `json:"backoff_until,omitempty"`
+	Successes        uint64 `json:"successes"`
+	Failures         uint64 `json:"failures"`
+	Hedged           uint64 `json:"hedged"`
+}
+
+// Handler returns an http.Handler serving the frontend API:
+// POST /ctfront/v1/add-chain, POST /ctfront/v1/add-pre-chain,
+// GET /ctfront/v1/health.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ctfront/v1/add-chain", f.handleAddChain)
+	mux.HandleFunc("POST /ctfront/v1/add-pre-chain", f.handleAddPreChain)
+	mux.HandleFunc("GET /ctfront/v1/health", f.handleHealth)
+	return mux
+}
+
+func (f *Frontend) handleAddChain(w http.ResponseWriter, r *http.Request) {
+	var req ctlog.AddChainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Chain) == 0 {
+		http.Error(w, "ctfront: bad add-chain body", http.StatusBadRequest)
+		return
+	}
+	cert, err := base64.StdEncoding.DecodeString(req.Chain[0])
+	if err != nil {
+		http.Error(w, "ctfront: bad base64 in chain", http.StatusBadRequest)
+		return
+	}
+	bundle, err := f.AddChain(r.Context(), cert)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeBundle(w, bundle)
+}
+
+func (f *Frontend) handleAddPreChain(w http.ResponseWriter, r *http.Request) {
+	var req ctlog.AddChainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Chain) < 2 {
+		http.Error(w, "ctfront: bad add-pre-chain body (need [tbs, issuerKeyHash])", http.StatusBadRequest)
+		return
+	}
+	tbs, err := base64.StdEncoding.DecodeString(req.Chain[0])
+	if err != nil {
+		http.Error(w, "ctfront: bad base64 tbs", http.StatusBadRequest)
+		return
+	}
+	ikhBytes, err := base64.StdEncoding.DecodeString(req.Chain[1])
+	if err != nil || len(ikhBytes) != 32 {
+		http.Error(w, "ctfront: bad issuer key hash", http.StatusBadRequest)
+		return
+	}
+	var ikh [32]byte
+	copy(ikh[:], ikhBytes)
+	bundle, err := f.AddPreChain(r.Context(), ikh, tbs)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeBundle(w, bundle)
+}
+
+func (f *Frontend) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	health := f.Health()
+	resp := HealthResponse{Backends: make([]BackendHealthResponse, len(health))}
+	for i, h := range health {
+		r := BackendHealthResponse{
+			Name:             h.Name,
+			Operator:         h.Operator,
+			GoogleOperated:   h.GoogleOperated,
+			Healthy:          h.Healthy,
+			ConsecutiveFails: h.ConsecutiveFails,
+			Successes:        h.Successes,
+			Failures:         h.Failures,
+			Hedged:           h.Hedged,
+		}
+		if !h.BackoffUntil.IsZero() {
+			r.BackoffUntil = h.BackoffUntil.UTC().Format("2006-01-02T15:04:05.000Z07:00")
+		}
+		resp.Backends[i] = r
+	}
+	writeJSON(w, resp)
+}
+
+func writeBundle(w http.ResponseWriter, bundle *Bundle) {
+	resp := AddChainResponse{SCTs: make([]BundleSCTResponse, 0, len(bundle.SCTs))}
+	for _, s := range bundle.SCTs {
+		sig, err := s.SCT.Signature.Serialize()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		resp.SCTs = append(resp.SCTs, BundleSCTResponse{
+			LogName:  s.LogName,
+			Operator: s.Operator,
+			AddChainResponse: ctlog.AddChainResponse{
+				SCTVersion: uint8(s.SCT.SCTVersion),
+				ID:         base64.StdEncoding.EncodeToString(s.SCT.LogID[:]),
+				Timestamp:  s.SCT.Timestamp,
+				Extensions: base64.StdEncoding.EncodeToString(s.SCT.Extensions),
+				Signature:  base64.StdEncoding.EncodeToString(sig),
+			},
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the connection will just break.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, policy.ErrUnsatisfiable), errors.Is(err, ErrSubmission):
+		// The pool cannot currently produce a compliant set — a capacity
+		// condition, not a caller error.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"ctrise/internal/ctfront"
 	"ctrise/internal/ctlog"
 	"ctrise/internal/sct"
 )
@@ -91,6 +92,30 @@ func buildLogs(clock *Clock, nimbusCapacity float64, dataDir string) (map[string
 		out[spec.name] = l
 	}
 	return out, nil
+}
+
+// buildFrontend assembles the multi-log submission frontend over every
+// world log, in Table 1 order, with the policy metadata the Chrome
+// rules need (operator, Google-operated). The frontend shares the
+// world's seed (deterministic routing) and virtual clock (backoff
+// bookkeeping runs on replay time). Hedging stays off: it trades
+// determinism for tail latency, and the replay's contract is
+// byte-identical trees at any parallelism.
+func buildFrontend(w *World) (*ctfront.Frontend, error) {
+	specs := make([]ctfront.BackendSpec, 0, len(w.LogNames))
+	for _, name := range w.LogNames {
+		l := w.Logs[name]
+		specs = append(specs, ctfront.BackendSpec{
+			Backend:        ctfront.LocalLog{Log: l},
+			Operator:       l.Operator(),
+			GoogleOperated: l.Operator() == "Google",
+		})
+	}
+	return ctfront.New(ctfront.Config{
+		Backends: specs,
+		Seed:     w.Cfg.Seed,
+		Clock:    w.Clock.Now,
+	})
 }
 
 // logDirName maps a display name ("Google Pilot log") to a filesystem-

@@ -78,19 +78,9 @@ func Workers(parallelism, tasks int) int {
 func DeriveSeed(base int64, salts ...uint64) int64 {
 	x := uint64(base)
 	for _, s := range salts {
-		x = mix64(x + 0x9e3779b97f4a7c15 + s)
+		x = stats.Mix64(x + 0x9e3779b97f4a7c15 + s)
 	}
 	return int64(x)
-}
-
-// mix64 is the splitmix64 finalizer.
-func mix64(z uint64) uint64 {
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return z
 }
 
 // splitMixSource is a splitmix64 rand.Source64. Its state is one word
@@ -103,7 +93,7 @@ func (s *splitMixSource) Seed(seed int64) { s.x = uint64(seed) }
 
 func (s *splitMixSource) Uint64() uint64 {
 	s.x += 0x9e3779b97f4a7c15
-	return mix64(s.x)
+	return stats.Mix64(s.x)
 }
 
 func (s *splitMixSource) Int63() int64 { return int64(s.Uint64() >> 1) }

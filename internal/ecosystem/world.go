@@ -1,6 +1,7 @@
 package ecosystem
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"ctrise/internal/ca"
+	"ctrise/internal/ctfront"
 	"ctrise/internal/ctlog"
 	"ctrise/internal/psl"
 	"ctrise/internal/sct"
@@ -43,6 +45,17 @@ type Config struct {
 	// barriers, not per submission — because the replay's durability
 	// unit is the day batch. Empty means in-memory logs (the default).
 	DataDir string
+	// UseFrontend routes every timeline issuance through a multi-log
+	// submission frontend (internal/ctfront) over all of the world's
+	// logs instead of each CA's own log policy: the frontend picks a
+	// Chrome-CT-policy-compliant log set per certificate under a
+	// deterministic, Seed-derived ranking, so the replay exercises the
+	// policy engine and the fan-out routing end to end while per-log
+	// trees stay byte-identical at every Parallelism setting. Frontend
+	// mode is incompatible with NimbusCapacity (the overload replay
+	// couples a CA's submissions across logs, which policy-driven
+	// routing cannot reproduce).
+	UseFrontend bool
 }
 
 // Domain is one registrable domain of the population.
@@ -68,6 +81,9 @@ type World struct {
 	// Domains is the registrable-domain population ("our domain list" in
 	// Section 4.1).
 	Domains []Domain
+	// Frontend is the multi-log submission frontend over all logs; nil
+	// unless Config.UseFrontend is set.
+	Frontend *ctfront.Frontend
 
 	rng *rand.Rand
 }
@@ -99,6 +115,15 @@ func New(cfg Config) (*World, error) {
 	w.Logs = logs
 	for _, spec := range logSpecs {
 		w.LogNames = append(w.LogNames, spec.name)
+	}
+	if cfg.UseFrontend {
+		if cfg.NimbusCapacity > 0 {
+			return nil, errors.New("ecosystem: UseFrontend is incompatible with NimbusCapacity (overload coupling needs the per-CA sequential path)")
+		}
+		w.Frontend, err = buildFrontend(w)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	w.Specs = DefaultCASpecs()
@@ -194,6 +219,15 @@ type dayWork struct {
 // The Nimbus overload replay (Config.NimbusCapacity > 0) couples
 // submissions across logs — a rejected submission aborts the rest of its
 // issuance — so it always runs the sequential in-line path.
+//
+// With Config.UseFrontend the commit stage ignores the CAs' per-plan
+// log policies and submits each precertificate once to w.Frontend,
+// which fans it out to a policy-compliant log set under the seed-
+// derived deterministic ranking. Frontend routing is a pure function of
+// the submission bytes, so the per-log trees remain byte-identical at
+// every parallelism; the replay always runs the staged pipeline (the
+// sequential per-CA Issue flow submits through CA-configured logs,
+// which is exactly what frontend mode replaces).
 func (w *World) RunTimeline(onDay func(day time.Time)) error {
 	parallelism := w.Cfg.Parallelism
 	if parallelism <= 0 {
@@ -209,12 +243,15 @@ func (w *World) RunTimeline(onDay func(day time.Time)) error {
 	// worlds.)
 	for _, c := range w.CAs {
 		if c.LogsFinalCerts() {
+			if w.Frontend != nil {
+				return errors.New("ecosystem: UseFrontend is incompatible with a CA that logs final certificates")
+			}
 			parallelism = 1
 			break
 		}
 	}
 
-	if parallelism == 1 {
+	if parallelism == 1 && w.Frontend == nil {
 		for day := w.Cfg.TimelineStart; day.Before(w.Cfg.TimelineEnd); day = day.AddDate(0, 0, 1) {
 			// Noon, so all issuance timestamps fall on the correct day.
 			w.Clock.Set(day.Add(12 * time.Hour))
@@ -414,6 +451,9 @@ func (w *World) constructTimelineDay(day time.Time, workers int) (dayWork, error
 // staging interleaving.
 func (w *World) commitTimelineDay(dw dayWork, workers int) error {
 	w.Clock.Set(dw.day.Add(12 * time.Hour))
+	if w.Frontend != nil {
+		return w.commitDayViaFrontend(dw, workers)
+	}
 	type submission struct {
 		p   *ca.Prepared
 		log *ctlog.Log
@@ -450,6 +490,32 @@ func (w *World) commitTimelineDay(dw dayWork, workers int) error {
 	})
 	if err := commitErr.Err(); err != nil {
 		return fmt.Errorf("ecosystem: committing %s: %w", dw.day.Format("2006-01-02"), err)
+	}
+	return nil
+}
+
+// commitDayViaFrontend stages one constructed day through the
+// submission frontend: one AddPreChain per prepared certificate, the
+// frontend fanning each out to its deterministic policy-compliant log
+// set. The per-plan policy draws are ignored — log selection is the
+// frontend's job in this mode.
+func (w *World) commitDayViaFrontend(dw dayWork, workers int) error {
+	var preps []*ca.Prepared
+	for si := range dw.preps {
+		preps = append(preps, dw.preps[si]...)
+	}
+	if len(preps) < minParallelDayIssuances {
+		workers = 1
+	}
+	var commitErr FirstError
+	ForEach(len(preps), workers, func(i int) {
+		p := preps[i]
+		if _, err := w.Frontend.AddPreChain(context.Background(), p.IssuerKeyHash(), p.TBS()); err != nil {
+			commitErr.Record(i, err)
+		}
+	})
+	if err := commitErr.Err(); err != nil {
+		return fmt.Errorf("ecosystem: frontend commit %s: %w", dw.day.Format("2006-01-02"), err)
 	}
 	return nil
 }

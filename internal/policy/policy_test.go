@@ -8,14 +8,21 @@ import (
 	"ctrise/internal/ca"
 	"ctrise/internal/certs"
 	"ctrise/internal/ctlog"
-	"ctrise/internal/ecosystem"
 	"ctrise/internal/sct"
 )
 
+// testDate pins the virtual time the policy tests issue at. (A fixed
+// clock, not the ecosystem's: importing ecosystem here would cycle now
+// that the world embeds the ctfront frontend, which runs on policy.)
+func testDate(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func testClock() time.Time { return testDate(2018, 5, 1) }
+
 func newLog(t *testing.T, name string) *ctlog.Log {
 	t.Helper()
-	clock := ecosystem.NewClock(ecosystem.Date(2018, 5, 1))
-	l, err := ctlog.New(ctlog.Config{Name: name, Signer: sct.NewFastSigner(name), Clock: clock.Now})
+	l, err := ctlog.New(ctlog.Config{Name: name, Signer: sct.NewFastSigner(name), Clock: testClock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +49,7 @@ type logEntry = struct {
 
 func issue(t *testing.T, logs []ca.LogSubmitter, fault ca.Fault) (*certs.Certificate, [32]byte) {
 	t.Helper()
-	clock := ecosystem.NewClock(ecosystem.Date(2018, 5, 1))
-	c, err := ca.New(ca.Config{Name: "Policy CA", Org: "Policy", Logs: logs, Clock: clock.Now})
+	c, err := ca.New(ca.Config{Name: "Policy CA", Org: "Policy", Logs: logs, Clock: testClock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +189,8 @@ func TestUnknownLogFails(t *testing.T) {
 func TestNoSCTsFails(t *testing.T) {
 	cert := &certs.Certificate{
 		Subject:   certs.Name{CommonName: "bare.example"},
-		NotBefore: ecosystem.Date(2018, 5, 1),
-		NotAfter:  ecosystem.Date(2018, 8, 1),
+		NotBefore: testDate(2018, 5, 1),
+		NotAfter:  testDate(2018, 8, 1),
 	}
 	res, err := CheckEmbedded(cert, [32]byte{}, LogSet{})
 	if err != nil {
@@ -203,11 +209,10 @@ func TestLongLivedCertNeedsMoreSCTs(t *testing.T) {
 		logEntry{google, "Google", true},
 		logEntry{cloudflare, "Cloudflare", false},
 	)
-	clock := ecosystem.NewClock(ecosystem.Date(2018, 5, 1))
 	c, err := ca.New(ca.Config{
 		Name: "LongLife CA", Org: "LongLife",
 		Logs:     []ca.LogSubmitter{google, cloudflare},
-		Clock:    clock.Now,
+		Clock:    testClock,
 		Validity: 3 * 365 * 24 * time.Hour,
 	})
 	if err != nil {

@@ -1,0 +1,147 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Candidate describes a log available for submission, as a multi-log
+// frontend sees it: the policy-relevant metadata without a live SCT.
+// It is the forward-looking twin of LogInfo — LogInfo judges SCTs a
+// certificate already carries, Candidate plans which logs to ask so the
+// resulting set will be judged compliant.
+type Candidate struct {
+	Name     string
+	Operator string
+	// GoogleOperated marks Google's own logs (the one-Google rule).
+	GoogleOperated bool
+}
+
+// ErrUnsatisfiable is returned by SelectCompliant when no subset of the
+// available candidates can complete a compliant set — e.g. every
+// reachable log is Google-operated, or too few logs remain for the
+// lifetime's SCT count.
+var ErrUnsatisfiable = fmt.Errorf("%w: no compliant log set available", ErrNonCompliant)
+
+// SetCompliant reports whether SCTs from exactly the given logs would
+// satisfy the Chrome policy for a certificate of the given lifetime:
+// at least MinSCTs(lifetime) logs, at least two distinct operators,
+// and at least one Google-operated and one non-Google log among them.
+// Duplicate log names are counted once.
+func SetCompliant(set []Candidate, lifetime time.Duration) bool {
+	return gapOf(set, lifetime).satisfied()
+}
+
+// gap is what a partial set still needs to become compliant.
+type gap struct {
+	count     int // SCTs still missing toward MinSCTs
+	google    bool
+	nonGoogle bool
+	operators int // distinct operators still missing toward 2
+}
+
+func (g gap) satisfied() bool {
+	return g.count <= 0 && !g.google && !g.nonGoogle && g.operators <= 0
+}
+
+// gapOf measures the distance between a candidate set and compliance.
+func gapOf(set []Candidate, lifetime time.Duration) gap {
+	seen := make(map[string]bool, len(set))
+	ops := make(map[string]bool, len(set))
+	g := gap{count: MinSCTs(lifetime), google: true, nonGoogle: true, operators: 2}
+	for _, c := range set {
+		if seen[c.Name] {
+			continue
+		}
+		seen[c.Name] = true
+		g.count--
+		if !ops[c.Operator] {
+			ops[c.Operator] = true
+			g.operators--
+		}
+		if c.GoogleOperated {
+			g.google = false
+		} else {
+			g.nonGoogle = false
+		}
+	}
+	return g
+}
+
+// SelectCompliant chooses which of the available logs to add to an
+// already-obtained set so that the union satisfies the Chrome policy,
+// and returns their indices into avail. The selection is greedy in
+// avail order — the caller expresses preference (e.g. a deterministic
+// seed-derived ranking, or health) by ordering avail — and minimal in
+// the sense that every chosen log closes part of the remaining gap:
+// first the missing Google and non-Google roles, then the SCT count.
+// Closing the Google + non-Google roles closes operator diversity too,
+// so a returned set never needs more than max(MinSCTs, 2) logs total.
+//
+// have may be empty (planning a fresh submission) or hold the logs that
+// already answered (repairing a set after a backend failure). Logs
+// already in have are never selected again. When the gap cannot be
+// closed from avail, SelectCompliant returns ErrUnsatisfiable.
+func SelectCompliant(have, avail []Candidate, lifetime time.Duration) ([]int, error) {
+	g := gapOf(have, lifetime)
+	if g.satisfied() {
+		return nil, nil
+	}
+	used := make(map[string]bool, len(have)+len(avail))
+	ops := make(map[string]bool, len(have))
+	for _, c := range have {
+		used[c.Name] = true
+		ops[c.Operator] = true
+	}
+	var picked []int
+	take := func(i int, c Candidate) {
+		picked = append(picked, i)
+		used[c.Name] = true
+		g.count--
+		if !ops[c.Operator] {
+			ops[c.Operator] = true
+			g.operators--
+		}
+		if c.GoogleOperated {
+			g.google = false
+		} else {
+			g.nonGoogle = false
+		}
+	}
+	// Roles first: the first Google-operated and the first non-Google
+	// candidate in preference order. These two (or the ones in have)
+	// also provide the two distinct operators.
+	for i, c := range avail {
+		if g.google && c.GoogleOperated && !used[c.Name] {
+			take(i, c)
+			break
+		}
+	}
+	for i, c := range avail {
+		if g.nonGoogle && !c.GoogleOperated && !used[c.Name] {
+			take(i, c)
+			break
+		}
+	}
+	// Then fill the SCT count (and, degenerately, operator diversity —
+	// reachable only if have already covered both roles within one
+	// operator, which real log lists cannot produce) with the remaining
+	// preference order.
+	for i, c := range avail {
+		if g.count <= 0 && g.operators <= 0 {
+			break
+		}
+		if used[c.Name] {
+			continue
+		}
+		if g.operators > 0 && ops[c.Operator] && g.count <= 0 {
+			continue
+		}
+		take(i, c)
+	}
+	if !g.satisfied() {
+		return nil, fmt.Errorf("%w: %d more SCTs needed, google=%v non-google=%v (have %d, avail %d)",
+			ErrUnsatisfiable, max(g.count, 0), g.google, g.nonGoogle, len(have), len(avail))
+	}
+	return picked, nil
+}

@@ -1,0 +1,145 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var (
+	gPilot    = Candidate{Name: "Google Pilot log", Operator: "Google", GoogleOperated: true}
+	gIcarus   = Candidate{Name: "Google Icarus log", Operator: "Google", GoogleOperated: true}
+	digicert  = Candidate{Name: "DigiCert Log Server", Operator: "DigiCert"}
+	comodo    = Candidate{Name: "Comodo Mammoth CT log", Operator: "Comodo"}
+	symantec  = Candidate{Name: "Symantec log", Operator: "Symantec"}
+	lifetime  = 90 * 24 * time.Hour      // MinSCTs = 2
+	lifetime3 = 20 * 30 * 24 * time.Hour // MinSCTs = 3
+	lifetime5 = 48 * 30 * 24 * time.Hour // MinSCTs = 5
+)
+
+func TestSetCompliant(t *testing.T) {
+	cases := []struct {
+		name string
+		set  []Candidate
+		life time.Duration
+		want bool
+	}{
+		{"empty", nil, lifetime, false},
+		{"google+nongoogle", []Candidate{gPilot, digicert}, lifetime, true},
+		{"two google", []Candidate{gPilot, gIcarus}, lifetime, false},
+		{"two nongoogle", []Candidate{digicert, comodo}, lifetime, false},
+		{"duplicate counted once", []Candidate{gPilot, gPilot}, lifetime, false},
+		{"count short for long lifetime", []Candidate{gPilot, digicert}, lifetime3, false},
+		{"three for long lifetime", []Candidate{gPilot, digicert, comodo}, lifetime3, true},
+	}
+	for _, tc := range cases {
+		if got := SetCompliant(tc.set, tc.life); got != tc.want {
+			t.Errorf("%s: SetCompliant = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSelectCompliantFresh(t *testing.T) {
+	avail := []Candidate{gPilot, gIcarus, digicert, comodo, symantec}
+	picked, err := SelectCompliant(nil, avail, lifetime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimal for a 90-day cert: 2 logs, the first Google and the first
+	// non-Google in preference order.
+	if len(picked) != 2 || avail[picked[0]].Name != gPilot.Name || avail[picked[1]].Name != digicert.Name {
+		t.Fatalf("picked %v, want [Pilot, DigiCert]", picked)
+	}
+	set := make([]Candidate, len(picked))
+	for i, idx := range picked {
+		set[i] = avail[idx]
+	}
+	if !SetCompliant(set, lifetime) {
+		t.Fatalf("selected set %v not compliant", set)
+	}
+}
+
+func TestSelectCompliantPreferenceOrder(t *testing.T) {
+	// Reordering avail must change the picks accordingly: preference is
+	// the caller's to express.
+	avail := []Candidate{comodo, gIcarus, digicert, gPilot}
+	picked, err := SelectCompliant(nil, avail, lifetime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || avail[picked[0]].Name != gIcarus.Name || avail[picked[1]].Name != comodo.Name {
+		t.Fatalf("picked %v, want [Icarus, Comodo]", picked)
+	}
+}
+
+func TestSelectCompliantRepair(t *testing.T) {
+	// A Google SCT is already in hand; the repair must only add a
+	// non-Google log.
+	have := []Candidate{gPilot}
+	avail := []Candidate{gIcarus, digicert}
+	picked, err := SelectCompliant(have, avail, lifetime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 1 || avail[picked[0]].Name != digicert.Name {
+		t.Fatalf("picked %v, want [DigiCert]", picked)
+	}
+}
+
+func TestSelectCompliantAlreadySatisfied(t *testing.T) {
+	picked, err := SelectCompliant([]Candidate{gPilot, digicert}, []Candidate{comodo}, lifetime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 0 {
+		t.Fatalf("picked %v from an already-compliant set", picked)
+	}
+}
+
+func TestSelectCompliantLongLifetime(t *testing.T) {
+	avail := []Candidate{gPilot, gIcarus, digicert, comodo, symantec}
+	picked, err := SelectCompliant(nil, avail, lifetime5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 5 {
+		t.Fatalf("picked %d logs, want 5 for a >39-month cert", len(picked))
+	}
+}
+
+func TestSelectCompliantUnsatisfiable(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		have  []Candidate
+		avail []Candidate
+		life  time.Duration
+	}{
+		{"all google", nil, []Candidate{gPilot, gIcarus}, lifetime},
+		{"all nongoogle", nil, []Candidate{digicert, comodo}, lifetime},
+		{"too few", nil, []Candidate{gPilot, digicert}, lifetime3},
+		{"nothing available", []Candidate{gPilot}, nil, lifetime},
+	} {
+		_, err := SelectCompliant(tc.have, tc.avail, tc.life)
+		if !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("%s: err = %v, want ErrUnsatisfiable", tc.name, err)
+		}
+		if !errors.Is(err, ErrNonCompliant) {
+			t.Errorf("%s: ErrUnsatisfiable should wrap ErrNonCompliant", tc.name)
+		}
+	}
+}
+
+func TestSelectCompliantNeverReselectsHave(t *testing.T) {
+	// The failed log is still listed as available (the frontend may not
+	// have marked it down yet); it must not be picked to repair its own
+	// failure... but a log already in have must never be picked again.
+	have := []Candidate{gPilot, digicert}
+	avail := []Candidate{gPilot, digicert, comodo}
+	picked, err := SelectCompliant(have, avail, lifetime3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 1 || avail[picked[0]].Name != comodo.Name {
+		t.Fatalf("picked %v, want [Comodo]", picked)
+	}
+}

@@ -24,6 +24,21 @@ func Hash64(s string) uint64 {
 	return h
 }
 
+// Mix64 is the splitmix64 finalizer: a cheap 64-bit bijection with full
+// avalanche. It is the shared integer mixer of the deterministic
+// pipelines — seed-splitting in the fan-out layer (ecosystem.DeriveSeed,
+// ecosystem.NewRand's source) and the submission frontend's backend
+// ranking (ctfront) both chain it, adding splitmix64's golden-ratio
+// increment (0x9e3779b97f4a7c15) per step the way the generator does.
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // Shard maps key onto [0, n) by FNV-1a. Length- or pointer-based schemes
 // collapse same-shaped keys onto one shard (equal-length labels all land
 // together); FNV-1a spreads them uniformly.
