@@ -1,0 +1,69 @@
+package auditor
+
+import (
+	"fmt"
+	"time"
+)
+
+// AlertClass is the typed, machine-checkable category of a misbehavior
+// alert. Each class corresponds to one way a log can break the CT
+// contract, and the chaos harness injects each one in isolation so tests
+// can assert an exact class↔fault mapping.
+type AlertClass string
+
+// Alert classes.
+const (
+	// AlertFork: the log served a larger STH that is not an append-only
+	// extension of the previously verified one (consistency proof fails).
+	AlertFork AlertClass = "fork"
+	// AlertRollback: the log served a validly signed STH whose tree size
+	// is smaller than one it already served this auditor.
+	AlertRollback AlertClass = "rollback"
+	// AlertBadSignature: the log served an STH whose signature does not
+	// verify under the log's known public key.
+	AlertBadSignature AlertClass = "bad-signature"
+	// AlertMMDViolation: an entry the log promised to include (an SCT the
+	// auditor registered via ExpectInclusion) is still absent from the
+	// tree after the log's own STH timestamp passed the merge deadline.
+	AlertMMDViolation AlertClass = "mmd-violation"
+	// AlertEquivocation: two irreconcilable views of the same log — the
+	// same tree size under different roots, either served to this auditor
+	// directly or discovered by cross-checking STHs with a gossip peer
+	// (split view).
+	AlertEquivocation AlertClass = "equivocation"
+	// AlertBadEntry: a streamed entry failed its inclusion spot-check —
+	// the leaf bytes the log served hash to a leaf that is not in the
+	// tree its own verified STH commits to (a corrupted entry body).
+	AlertBadEntry AlertClass = "bad-entry"
+)
+
+// Classes lists every alert class, in stable order, for metrics and
+// golden-output enumeration.
+var Classes = []AlertClass{
+	AlertFork, AlertRollback, AlertBadSignature,
+	AlertMMDViolation, AlertEquivocation, AlertBadEntry,
+}
+
+// Alert is one typed misbehavior report. It carries everything a
+// downstream consumer (or a regression test) needs to act on it without
+// parsing the human-readable detail.
+type Alert struct {
+	// Log is the display name of the misbehaving log.
+	Log string
+	// Class is the typed category.
+	Class AlertClass
+	// TreeSize is the tree size at which the misbehavior was observed
+	// (the offending STH's size, or the verified size an entry failed
+	// its spot-check against).
+	TreeSize uint64
+	// Time is the auditor clock's time of detection.
+	Time time.Time
+	// Detail is a human-readable explanation, including the underlying
+	// verification error where there is one.
+	Detail string
+}
+
+// String formats the alert for logs and test diagnostics.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%s] %s size=%d: %s", a.Class, a.Log, a.TreeSize, a.Detail)
+}

@@ -1,0 +1,50 @@
+package auditor_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/alerts.golden from this run")
+
+// TestAlertRegression pins the alert classes raised by every fault
+// scenario to a golden file. A refactor that makes a fault raise a
+// different class — or stop raising at all — fails here even if each
+// individual matrix test was updated to match the regression.
+func TestAlertRegression(t *testing.T) {
+	var b strings.Builder
+	for _, sc := range faultScenarios {
+		alerts := sc.run(t)
+		b.WriteString(sc.name)
+		b.WriteString(":")
+		if len(alerts) == 0 {
+			b.WriteString(" (none)")
+		}
+		for _, a := range alerts {
+			b.WriteString(" ")
+			b.WriteString(string(a.Class))
+		}
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join("testdata", "alerts.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("alert regression: fault scenarios changed their alerts\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

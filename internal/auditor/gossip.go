@@ -1,0 +1,227 @@
+package auditor
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ctrise/internal/ctclient"
+	"ctrise/internal/ctlog"
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+// Gossip: auditors exchange their latest verified STHs and cross-check
+// them. A log that equivocates — serving one signed history to auditor A
+// and a different signed history to auditor B — is internally consistent
+// from either vantage point alone; only comparing tree heads across
+// vantage points exposes the split view. The wire format carries the
+// log's own signature bytes, so a receiving auditor re-verifies every
+// gossiped head under the log's public key before treating a conflict as
+// evidence: a malicious or buggy peer cannot forge an equivocation
+// alert, because the alert requires two validly signed, irreconcilable
+// heads.
+
+// GossipSTH is one log's tree head as exchanged between auditors. Field
+// encoding mirrors the ct/v1 get-sth response so the signature bytes
+// survive the round trip intact.
+type GossipSTH struct {
+	Log               string `json:"log"`
+	TreeSize          uint64 `json:"tree_size"`
+	Timestamp         uint64 `json:"timestamp"`
+	SHA256RootHash    string `json:"sha256_root_hash"`
+	TreeHeadSignature string `json:"tree_head_signature"`
+}
+
+// GossipResponse is the body of GET /gossip/v1/sths.
+type GossipResponse struct {
+	STHs []GossipSTH `json:"sths"`
+}
+
+// GossipSTHs snapshots the latest verified tree head of every log, in
+// configuration order, skipping logs with nothing verified yet.
+func (a *Auditor) GossipSTHs() []GossipSTH {
+	out := make([]GossipSTH, 0, len(a.names))
+	for _, name := range a.names {
+		sth, ok := a.VerifiedSTH(name)
+		if !ok {
+			continue
+		}
+		sig, err := sth.Sig.Serialize()
+		if err != nil {
+			continue // locally produced; cannot happen
+		}
+		out = append(out, GossipSTH{
+			Log:               name,
+			TreeSize:          sth.TreeHead.TreeSize,
+			Timestamp:         sth.TreeHead.Timestamp,
+			SHA256RootHash:    base64.StdEncoding.EncodeToString(sth.TreeHead.RootHash[:]),
+			TreeHeadSignature: base64.StdEncoding.EncodeToString(sig),
+		})
+	}
+	return out
+}
+
+// GossipHandler serves this auditor's verified tree heads to peers at
+// GET /gossip/v1/sths.
+func (a *Auditor) GossipHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /gossip/v1/sths", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(GossipResponse{STHs: a.GossipSTHs()})
+	})
+	return mux
+}
+
+// FetchGossip retrieves a peer auditor's tree heads from its gossip
+// endpoint at baseURL (no trailing slash).
+func FetchGossip(ctx context.Context, hc *http.Client, baseURL string) ([]GossipSTH, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/gossip/v1/sths", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("auditor: gossip fetch: status %d", resp.StatusCode)
+	}
+	var body GossipResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("auditor: gossip fetch: %w", err)
+	}
+	return body.STHs, nil
+}
+
+// CrossCheckPeer fetches a peer's tree heads and cross-checks them; see
+// CrossCheck.
+func (a *Auditor) CrossCheckPeer(ctx context.Context, hc *http.Client, baseURL string) error {
+	sths, err := FetchGossip(ctx, hc, baseURL)
+	if err != nil {
+		return err
+	}
+	return a.CrossCheck(ctx, sths)
+}
+
+// CrossCheck compares gossiped tree heads against this auditor's own
+// verified chain heads. For each gossiped head of a log this auditor
+// follows:
+//
+//   - the head's signature is verified under the log's key (a peer
+//     cannot inject evidence the log never signed);
+//   - equal sizes must carry equal roots, else the log equivocated;
+//   - unequal sizes must be linked by a consistency proof fetched from
+//     the log itself; a proof the log cannot produce (or that fails
+//     verification) means the two views share no common history —
+//     a split view, alerted as equivocation.
+//
+// Logs this auditor does not follow, and logs it has no verified head
+// for yet, are skipped. The returned error is the first operational
+// failure (an unverifiable peer payload or a transport error); detected
+// misbehavior is recorded as alerts, not returned.
+func (a *Auditor) CrossCheck(ctx context.Context, sths []GossipSTH) error {
+	var firstErr error
+	for _, g := range sths {
+		la, ok := a.logs[g.Log]
+		if !ok {
+			continue
+		}
+		ours, ok := a.VerifiedSTH(g.Log)
+		if !ok {
+			continue
+		}
+		theirs, err := decodeGossipSTH(g)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := la.client.Verifier.VerifyTreeHead(theirs.TreeHead, theirs.Sig); err != nil {
+			// Not evidence against the log — the peer sent bytes the log
+			// never signed. Surface it as a peer problem.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("auditor: gossiped STH for %s fails verification: %w", g.Log, err)
+			}
+			continue
+		}
+		if err := la.crossCheckHead(ctx, ours, theirs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// crossCheckHead compares one validly signed peer head against our own
+// verified head, fetching a consistency proof from the log when the
+// sizes differ.
+func (la *logAuditor) crossCheckHead(ctx context.Context, ours, theirs ctlog.SignedTreeHead) error {
+	o, t := ours.TreeHead, theirs.TreeHead
+	switch {
+	case o.TreeSize == t.TreeSize:
+		if o.RootHash != t.RootHash {
+			la.a.record(la, AlertEquivocation, o.TreeSize,
+				fmt.Sprintf("split view at size %d: our root %x, peer saw %x", o.TreeSize, o.RootHash[:8], t.RootHash[:8]))
+		}
+		return nil
+	case o.TreeSize == 0 || t.TreeSize == 0:
+		// Either view is the empty tree, trivially consistent with
+		// anything (and logs reject first=0 proof requests).
+		return nil
+	default:
+		first, second := o, t
+		if first.TreeSize > second.TreeSize {
+			first, second = second, first
+		}
+		proof, err := la.client.GetConsistencyProof(ctx, first.TreeSize, second.TreeSize)
+		if err != nil {
+			var se *ctclient.StatusError
+			if errors.As(err, &se) && se.Code >= 400 && se.Code < 500 {
+				// The log refuses to link two heads it signed: it cannot
+				// produce a common history for them.
+				la.a.record(la, AlertEquivocation, second.TreeSize,
+					fmt.Sprintf("split view: log cannot link sizes %d and %d: %v", first.TreeSize, second.TreeSize, err))
+				return nil
+			}
+			return fmt.Errorf("auditor: %s: cross-check proof: %w", la.name, err)
+		}
+		if err := merkle.VerifyConsistency(
+			first.TreeSize, second.TreeSize,
+			merkle.Hash(first.RootHash), merkle.Hash(second.RootHash), proof,
+		); err != nil {
+			la.a.record(la, AlertEquivocation, second.TreeSize,
+				fmt.Sprintf("split view between sizes %d and %d: %v", first.TreeSize, second.TreeSize, err))
+		}
+		return nil
+	}
+}
+
+// decodeGossipSTH reverses the wire encoding.
+func decodeGossipSTH(g GossipSTH) (ctlog.SignedTreeHead, error) {
+	root, err := base64.StdEncoding.DecodeString(g.SHA256RootHash)
+	if err != nil || len(root) != merkle.HashSize {
+		return ctlog.SignedTreeHead{}, fmt.Errorf("auditor: gossip STH for %s: bad root hash", g.Log)
+	}
+	sigBytes, err := base64.StdEncoding.DecodeString(g.TreeHeadSignature)
+	if err != nil {
+		return ctlog.SignedTreeHead{}, fmt.Errorf("auditor: gossip STH for %s: bad signature encoding", g.Log)
+	}
+	ds, err := sct.ParseDigitallySigned(sigBytes)
+	if err != nil {
+		return ctlog.SignedTreeHead{}, fmt.Errorf("auditor: gossip STH for %s: %w", g.Log, err)
+	}
+	sth := ctlog.SignedTreeHead{
+		TreeHead: sct.TreeHead{Timestamp: g.Timestamp, TreeSize: g.TreeSize},
+		Sig:      ds,
+	}
+	copy(sth.TreeHead.RootHash[:], root)
+	return sth, nil
+}

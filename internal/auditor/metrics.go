@@ -1,0 +1,83 @@
+package auditor
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// MetricsHandler serves the auditor's counters in the Prometheus text
+// exposition format at GET /metrics: per-log verified tree size, monitor
+// lag, entry/poll/spot-check throughput, operational error counts, and
+// per-class alert counters (all classes emitted, zeros included, so a
+// scrape sees stable series).
+func (a *Auditor) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		var b strings.Builder
+		a.writeMetrics(&b)
+		w.Write([]byte(b.String()))
+	})
+	return mux
+}
+
+// writeMetrics renders every metric family with its HELP/TYPE header.
+func (a *Auditor) writeMetrics(b *strings.Builder) {
+	type gauge struct {
+		name, help, typ string
+		value           func(la *logAuditor) uint64
+	}
+	families := []gauge{
+		{"ctaudit_tree_size", "Latest verified STH tree size per log.", "gauge",
+			func(la *logAuditor) uint64 {
+				if sth := la.mon.LastSTH(); sth != nil {
+					return sth.TreeHead.TreeSize
+				}
+				return 0
+			}},
+		{"ctaudit_lag_entries", "Entries behind the latest verified STH (verified size minus consumption cursor).", "gauge",
+			func(la *logAuditor) uint64 {
+				sth := la.mon.LastSTH()
+				if sth == nil {
+					return 0
+				}
+				next := la.mon.NextIndex()
+				if sth.TreeHead.TreeSize <= next {
+					return 0
+				}
+				return sth.TreeHead.TreeSize - next
+			}},
+		{"ctaudit_entries_total", "Entries streamed and audited per log this process.", "counter",
+			func(la *logAuditor) uint64 { return la.entries }},
+		{"ctaudit_polls_total", "Audit polls per log.", "counter",
+			func(la *logAuditor) uint64 { return la.polls }},
+		{"ctaudit_poll_errors_total", "Operational (non-alert) poll failures per log.", "counter",
+			func(la *logAuditor) uint64 { return la.pollErrors }},
+		{"ctaudit_spot_checks_total", "Inclusion-proof spot checks per log.", "counter",
+			func(la *logAuditor) uint64 { return la.spotChecks }},
+	}
+	for _, fam := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)
+		for _, name := range a.names {
+			la := a.logs[name]
+			la.mu.Lock()
+			v := fam.value(la)
+			la.mu.Unlock()
+			fmt.Fprintf(b, "%s{log=%q} %d\n", fam.name, name, v)
+		}
+	}
+	fmt.Fprintf(b, "# HELP ctaudit_alerts_total Deduplicated misbehavior alerts per log and class.\n# TYPE ctaudit_alerts_total counter\n")
+	for _, name := range a.names {
+		la := a.logs[name]
+		la.mu.Lock()
+		counts := make(map[AlertClass]uint64, len(la.alertCount))
+		for c, n := range la.alertCount {
+			counts[c] = n
+		}
+		la.mu.Unlock()
+		for _, class := range Classes {
+			fmt.Fprintf(b, "ctaudit_alerts_total{log=%q,class=%q} %d\n", name, class, counts[class])
+		}
+	}
+}

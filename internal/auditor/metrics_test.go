@@ -1,0 +1,75 @@
+package auditor_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ctrise/internal/chaos"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func wantLine(t *testing.T, body, line string) {
+	t.Helper()
+	for _, l := range strings.Split(body, "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("metrics scrape missing %q; got:\n%s", line, body)
+}
+
+func TestMetricsScrape(t *testing.T) {
+	w := newChaosWorld(t, 3)
+	a := w.NewAuditor("", nil)
+	pollClean(t, a)
+
+	msrv := httptest.NewServer(a.MetricsHandler())
+	defer msrv.Close()
+
+	body := scrape(t, msrv.URL)
+	wantLine(t, body, `ctaudit_tree_size{log="chaos-log"} 3`)
+	wantLine(t, body, `ctaudit_lag_entries{log="chaos-log"} 0`)
+	wantLine(t, body, `ctaudit_entries_total{log="chaos-log"} 3`)
+	wantLine(t, body, `ctaudit_polls_total{log="chaos-log"} 1`)
+	wantLine(t, body, `ctaudit_spot_checks_total{log="chaos-log"} 3`)
+	// Alert families are present with zeros before anything goes wrong,
+	// so dashboards get stable series from the first scrape.
+	wantLine(t, body, `ctaudit_alerts_total{log="chaos-log",class="rollback"} 0`)
+	wantLine(t, body, `ctaudit_alerts_total{log="chaos-log",class="equivocation"} 0`)
+
+	// A detected fault moves exactly its own counter. The log needs a
+	// second recorded head before it can roll back to an older one.
+	w.Grow(2)
+	pollClean(t, a)
+	w.chaos.SetFault(chaos.FaultRollback)
+	pollFaulty(t, a)
+	body = scrape(t, msrv.URL)
+	wantLine(t, body, `ctaudit_alerts_total{log="chaos-log",class="rollback"} 1`)
+	wantLine(t, body, `ctaudit_alerts_total{log="chaos-log",class="fork"} 0`)
+	wantLine(t, body, `ctaudit_polls_total{log="chaos-log"} 3`)
+	wantLine(t, body, `ctaudit_entries_total{log="chaos-log"} 5`)
+	// The verified head never regressed to the rolled-back size.
+	wantLine(t, body, `ctaudit_tree_size{log="chaos-log"} 5`)
+}

@@ -1,0 +1,151 @@
+// Package chaos is the repo's deterministic fault-injection layer: a
+// misbehaving CT log and a faulty network, built so every robustness
+// claim (WAL recovery, frontend failover, monitor retry, and above all
+// the auditor's misbehavior detection) can be proven against an
+// adversarial world rather than a merely crash-free one.
+//
+// Two injectors are provided:
+//
+//   - Log wraps an honest *ctlog.Log and serves the ct/v1 API while
+//     misbehaving on demand: equivocating (serving forked, internally
+//     consistent views to different clients), rolling back its STH,
+//     signing same-size/different-root heads, violating its MMD
+//     (fresh-timestamp STHs that never merge staged entries), and
+//     corrupting entry bodies. Every forged head is signed with the
+//     log's real key — the attacks the auditor must catch are exactly
+//     the ones a compromised log could mount, not strawmen that fail
+//     signature verification.
+//
+//   - Proxy and Transport are HTTP middlemen (server- and client-side)
+//     that inject seed-derived delays, 5xx bursts, connection resets,
+//     and truncated response bodies on a scriptable, deterministic
+//     schedule. They model the faulty-but-honest network an auditor
+//     must ride out without raising false alerts.
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctrise/internal/stats"
+)
+
+// Plan is the fault assigned to one request by a Schedule.
+type Plan uint8
+
+// Plans, in the priority order the probabilistic draw applies them.
+const (
+	// PlanNone passes the request through untouched.
+	PlanNone Plan = iota
+	// PlanReset aborts the connection before any response bytes.
+	PlanReset
+	// Plan503 answers 503 without reaching the backend (and starts a
+	// burst of Schedule.ErrBurst consecutive 503s).
+	Plan503
+	// PlanTruncate serves roughly half the response body, then aborts.
+	PlanTruncate
+	// PlanDelay sleeps Schedule.Delay before passing through.
+	PlanDelay
+)
+
+// String names the plan for test diagnostics.
+func (p Plan) String() string {
+	switch p {
+	case PlanNone:
+		return "none"
+	case PlanReset:
+		return "reset"
+	case Plan503:
+		return "503"
+	case PlanTruncate:
+		return "truncate"
+	case PlanDelay:
+		return "delay"
+	default:
+		return "unknown"
+	}
+}
+
+// Schedule decides which fault, if any, hits the i-th request. Two
+// modes:
+//
+//   - Script pins an explicit plan per request index (requests beyond
+//     the script pass through) — the mode regression tests use, because
+//     the fault sequence is then part of the test's text.
+//   - Otherwise each knob draws independently and deterministically
+//     from splitmix64(Seed, index, knob): OneIn=N means an expected one
+//     fault per N requests, reproducible for a given seed at any
+//     request volume. OneIn=0 disables a knob.
+//
+// Draw priority is reset > 503 > truncate > delay, so at most one fault
+// applies per request.
+type Schedule struct {
+	Seed uint64
+	// Script explicitly assigns plans by request index; overrides the
+	// probabilistic knobs when non-empty.
+	Script []Plan
+	// Probabilistic knobs: expected one fault per N requests each.
+	ResetOneIn, ErrOneIn, TruncateOneIn, DelayOneIn uint64
+	// ErrBurst extends each drawn 503 into this many consecutive 503s
+	// (default 1 — a single 503).
+	ErrBurst int
+	// Delay is the injected latency for PlanDelay.
+	Delay time.Duration
+}
+
+// draw evaluates the schedule for request i, without burst state.
+func (s *Schedule) draw(i uint64) Plan {
+	if len(s.Script) > 0 {
+		if i < uint64(len(s.Script)) {
+			return s.Script[i]
+		}
+		return PlanNone
+	}
+	hit := func(oneIn uint64, salt uint64) bool {
+		if oneIn == 0 {
+			return false
+		}
+		return stats.Mix64(s.Seed^stats.Mix64(i^salt))%oneIn == 0
+	}
+	switch {
+	case hit(s.ResetOneIn, 0x7265736574727374):
+		return PlanReset
+	case hit(s.ErrOneIn, 0x5035035035035035):
+		return Plan503
+	case hit(s.TruncateOneIn, 0x7274756e63617465):
+		return PlanTruncate
+	case hit(s.DelayOneIn, 0x64656c617964656c):
+		return PlanDelay
+	}
+	return PlanNone
+}
+
+// faultState is the shared request counter + 503-burst state behind
+// Proxy and Transport.
+type faultState struct {
+	sched *Schedule
+	n     atomic.Uint64
+
+	mu        sync.Mutex
+	burstLeft int
+}
+
+// next assigns the next request its plan, advancing burst state.
+func (f *faultState) next() Plan {
+	i := f.n.Add(1) - 1
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.burstLeft > 0 {
+		f.burstLeft--
+		return Plan503
+	}
+	p := f.sched.draw(i)
+	if p == Plan503 && f.sched.ErrBurst > 1 {
+		f.burstLeft = f.sched.ErrBurst - 1
+	}
+	return p
+}
+
+// Requests reports how many requests have been assigned plans.
+func (f *faultState) Requests() uint64 { return f.n.Load() }

@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// Proxy is a server-side HTTP middleman: it wraps any http.Handler and
+// injects the faults its Schedule assigns — delays, 503s (optionally in
+// bursts), connection resets, and truncated response bodies. Faults are
+// injected at the HTTP layer, so the wrapped handler's own state (the
+// log it serves) is never perturbed: an honest log behind a Proxy is
+// still honest, which is exactly what the auditor's zero-false-alert
+// guarantee is tested against.
+type Proxy struct {
+	next  http.Handler
+	state faultState
+	// sleep is stubbed in tests; time.Sleep otherwise.
+	sleep func(time.Duration)
+}
+
+// NewProxy wraps next with the given fault schedule.
+func NewProxy(next http.Handler, sched Schedule) *Proxy {
+	p := &Proxy{next: next, sleep: time.Sleep}
+	p.state.sched = &sched
+	return p
+}
+
+// Requests reports how many requests the proxy has seen.
+func (p *Proxy) Requests() uint64 { return p.state.Requests() }
+
+// ServeHTTP applies the scheduled fault, then (for PlanNone/PlanDelay)
+// forwards to the wrapped handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch p.state.next() {
+	case PlanReset:
+		// Abort the connection with no response; net/http recognizes
+		// ErrAbortHandler and closes without a reply, which clients see
+		// as a transport error.
+		panic(http.ErrAbortHandler)
+	case Plan503:
+		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+		return
+	case PlanTruncate:
+		p.truncate(w, r)
+		return
+	case PlanDelay:
+		p.sleep(p.state.sched.Delay)
+	}
+	p.next.ServeHTTP(w, r)
+}
+
+// truncate runs the real handler against a buffer, declares the full
+// Content-Length, sends only half the body, and aborts — the classic
+// mid-response server death. Clients see io.ErrUnexpectedEOF (a short
+// read against the declared length), which well-behaved monitors treat
+// as transient.
+func (p *Proxy) truncate(w http.ResponseWriter, r *http.Request) {
+	rec := &bufferedResponse{status: http.StatusOK, header: make(http.Header)}
+	p.next.ServeHTTP(rec, r)
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	body := rec.body.Bytes()
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(rec.status)
+	w.Write(body[:len(body)/2])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// bufferedResponse captures a handler's response for partial replay.
+type bufferedResponse struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header         { return b.header }
+func (b *bufferedResponse) WriteHeader(status int)      { b.status = status }
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// Transport is the client-side middleman: an http.RoundTripper that
+// injects the same fault vocabulary without a server in the loop —
+// synthesized 503s, connection-reset errors, truncated bodies (the
+// response is read whole, then cut in half), and delays. It lets a
+// single client (one auditor among many) experience a hostile network
+// while everyone else talks to the same server cleanly.
+type Transport struct {
+	base  http.RoundTripper
+	state faultState
+	sleep func(time.Duration)
+}
+
+// NewTransport wraps base (http.DefaultTransport if nil) with the given
+// fault schedule.
+func NewTransport(base http.RoundTripper, sched Schedule) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	t := &Transport{base: base, sleep: time.Sleep}
+	t.state.sched = &sched
+	return t
+}
+
+// Requests reports how many requests the transport has seen.
+func (t *Transport) Requests() uint64 { return t.state.Requests() }
+
+// RoundTrip applies the scheduled fault.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.state.next() {
+	case PlanReset:
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case Plan503:
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(bytes.NewReader([]byte("chaos: injected 503\n"))),
+			Request:    req,
+		}, nil
+	case PlanTruncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: draining body for truncation: %w", err)
+		}
+		resp.Body = io.NopCloser(&truncatedBody{data: body[:len(body)/2]})
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	case PlanDelay:
+		t.sleep(t.state.sched.Delay)
+	}
+	return t.base.RoundTrip(req)
+}
+
+// truncatedBody serves its data and then fails with ErrUnexpectedEOF,
+// the error a real connection teardown mid-body surfaces as.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (tb *truncatedBody) Read(p []byte) (int, error) {
+	if tb.off >= len(tb.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, tb.data[tb.off:])
+	tb.off += n
+	return n, nil
+}

@@ -30,6 +30,26 @@ var (
 	ErrBadBody    = errors.New("ctclient: malformed response body")
 )
 
+// Misbehavior errors returned by Monitor.Poll when a log's new STH is
+// incompatible with the previously verified one. Each maps to one of the
+// auditor's alert classes; all of them mean the log is provably not the
+// append-only structure it claims to be (or is showing this client a
+// different history than it showed before), so none of them retry.
+var (
+	// ErrRollback means the log served a (validly signed) STH whose tree
+	// size is smaller than one it already served: the log un-published
+	// entries it had committed to.
+	ErrRollback = errors.New("ctclient: log rolled back its STH")
+	// ErrEquivocation means the log served two validly signed STHs with
+	// the same tree size but different root hashes: two irreconcilable
+	// views of the same history.
+	ErrEquivocation = errors.New("ctclient: log equivocated (same size, different root)")
+	// ErrFork means the log's new, larger STH is not an append-only
+	// extension of the previously verified one: the consistency proof
+	// between the two tree heads fails.
+	ErrFork = errors.New("ctclient: log fork detected")
+)
+
 // StatusError is a non-200 HTTP response, carrying the status code so
 // callers (the Monitor's retry loop in particular) can tell transient
 // server-side failures (5xx) from permanent request errors (4xx). It
@@ -429,6 +449,20 @@ func NewMonitorAt(client *Client, next uint64) *Monitor {
 // delivered — the cursor to persist in a harvest checkpoint.
 func (m *Monitor) NextIndex() uint64 { return m.nextIdx }
 
+// LastSTH returns the most recently verified signed tree head, or nil if
+// no Poll has completed yet. Auditors persist it (with NextIndex) as
+// their verified-chain head.
+func (m *Monitor) LastSTH() *ctlog.SignedTreeHead { return m.lastSTH }
+
+// SetLastSTH seeds the monitor with a previously verified tree head —
+// the head of a persisted verified-STH chain — so the first Poll after a
+// restart checks consistency against the durable audit history instead
+// of blindly adopting whatever the log serves now. Cross-restart fork
+// and rollback detection both hang off this anchor.
+func (m *Monitor) SetLastSTH(sth ctlog.SignedTreeHead) {
+	m.lastSTH = &sth
+}
+
 // EntriesSeen reports how many entries the monitor has consumed.
 func (m *Monitor) EntriesSeen() uint64 { return m.entries }
 
@@ -492,8 +526,13 @@ func (m *Monitor) StreamEntries(ctx context.Context, start, end uint64, fn func(
 }
 
 // Poll fetches the current STH and streams any new entries to fn in order.
-// When a previous STH exists, the monitor verifies log consistency before
-// consuming new entries, so a forked log is detected rather than followed.
+// When a previous STH exists, the new head is checked against it before
+// any entries are consumed: a smaller tree size is ErrRollback, the same
+// size under a different root is ErrEquivocation, and a larger size whose
+// consistency proof fails is ErrFork — a misbehaving log is detected
+// rather than followed. An STH whose signature fails verification (the
+// Client's Verifier) is rejected by GetSTH before any of this runs, so a
+// log cannot buy acceptance of a bogus head by streaming entries cleanly.
 func (m *Monitor) Poll(ctx context.Context, fn func(*ctlog.Entry) error) error {
 	var sth ctlog.SignedTreeHead
 	if err := m.retry(ctx, func() (err error) {
@@ -502,23 +541,37 @@ func (m *Monitor) Poll(ctx context.Context, fn func(*ctlog.Entry) error) error {
 	}); err != nil {
 		return err
 	}
-	// Consistency with the previous head, when there was one. A previous
-	// size of 0 is trivially consistent with anything, and logs reject
-	// get-sth-consistency with first=0, so no proof is requested then.
-	if m.lastSTH != nil && sth.TreeHead.TreeSize > m.lastSTH.TreeHead.TreeSize && m.lastSTH.TreeHead.TreeSize > 0 {
-		var proof []merkle.Hash
-		if err := m.retry(ctx, func() (err error) {
-			proof, err = m.Client.GetConsistencyProof(ctx, m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize)
-			return err
-		}); err != nil {
-			return err
-		}
-		if err := merkle.VerifyConsistency(
-			m.lastSTH.TreeHead.TreeSize, sth.TreeHead.TreeSize,
-			merkle.Hash(m.lastSTH.TreeHead.RootHash), merkle.Hash(sth.TreeHead.RootHash),
-			proof,
-		); err != nil {
-			return fmt.Errorf("ctclient: log fork detected: %w", err)
+	if m.lastSTH != nil {
+		last := m.lastSTH.TreeHead
+		switch {
+		case sth.TreeHead.TreeSize < last.TreeSize:
+			return fmt.Errorf("%w: had size %d, got %d", ErrRollback, last.TreeSize, sth.TreeHead.TreeSize)
+		case sth.TreeHead.TreeSize == last.TreeSize:
+			if sth.TreeHead.RootHash != last.RootHash {
+				return fmt.Errorf("%w: size %d, root %x then %x",
+					ErrEquivocation, last.TreeSize, last.RootHash, sth.TreeHead.RootHash)
+			}
+			// Same head, possibly republished under a fresher timestamp:
+			// nothing new to verify or stream.
+		case last.TreeSize > 0:
+			// Consistency with the previous head. A previous size of 0 is
+			// trivially consistent with anything, and logs reject
+			// get-sth-consistency with first=0, so no proof is requested
+			// then.
+			var proof []merkle.Hash
+			if err := m.retry(ctx, func() (err error) {
+				proof, err = m.Client.GetConsistencyProof(ctx, last.TreeSize, sth.TreeHead.TreeSize)
+				return err
+			}); err != nil {
+				return err
+			}
+			if err := merkle.VerifyConsistency(
+				last.TreeSize, sth.TreeHead.TreeSize,
+				merkle.Hash(last.RootHash), merkle.Hash(sth.TreeHead.RootHash),
+				proof,
+			); err != nil {
+				return fmt.Errorf("%w: %v", ErrFork, err)
+			}
 		}
 	}
 	if sth.TreeHead.TreeSize > m.nextIdx {

@@ -1,0 +1,149 @@
+package ctclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"ctrise/internal/chaos"
+	"ctrise/internal/ctlog"
+	"ctrise/internal/sct"
+)
+
+// Monitor misbehavior detection: the STH-transition checks in Poll,
+// exercised end to end against the chaos log (the misbehaving ct/v1
+// server) rather than hand-forged responses.
+
+type chaosEnv struct {
+	chaos  *chaos.Log
+	server *httptest.Server
+	client *Client
+	mon    *Monitor
+}
+
+func newChaosEnv(t *testing.T, entries int) *chaosEnv {
+	t.Helper()
+	now := time.Date(2018, 4, 12, 14, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	signer := sct.NewFastSigner("misbehaving-log")
+	honest, err := ctlog.New(ctlog.Config{Name: "misbehaving-log", Signer: signer, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		if _, err := honest.AddChain([]byte(fmt.Sprintf("cert-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := honest.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	cl := chaos.NewLog(honest, signer, clock)
+	srv := httptest.NewServer(cl.Handler())
+	t.Cleanup(srv.Close)
+	c := New(srv.URL, signer.Verifier())
+	m := NewMonitor(c)
+	m.RetryBase = time.Millisecond
+	return &chaosEnv{chaos: cl, server: srv, client: c, mon: m}
+}
+
+func (e *chaosEnv) grow(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := e.chaos.Honest().AddChain([]byte(fmt.Sprintf("growth-%d-%d", e.chaos.Honest().TreeSize(), i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.chaos.Honest().PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPoll(t *testing.T, m *Monitor) {
+	t.Helper()
+	if err := m.Poll(context.Background(), func(*ctlog.Entry) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorPollDetectsRollback(t *testing.T) {
+	e := newChaosEnv(t, 3)
+	mustPoll(t, e.mon) // verifies and records size 3
+	e.grow(t, 2)
+	mustPoll(t, e.mon) // verifies size 5
+
+	e.chaos.SetFault(chaos.FaultRollback)
+	err := e.mon.Poll(context.Background(), func(*ctlog.Entry) error { return nil })
+	if !errors.Is(err, ErrRollback) {
+		t.Fatalf("rolled-back STH: got %v, want ErrRollback", err)
+	}
+	// The verified head must not regress to the rolled-back one.
+	if got := e.mon.LastSTH().TreeHead.TreeSize; got != 5 {
+		t.Fatalf("lastSTH regressed to %d after rollback attempt, want 5", got)
+	}
+}
+
+func TestMonitorPollDetectsSameSizeEquivocation(t *testing.T) {
+	e := newChaosEnv(t, 3)
+	mustPoll(t, e.mon)
+
+	e.chaos.SetFault(chaos.FaultEquivocate)
+	err := e.mon.Poll(context.Background(), func(*ctlog.Entry) error { return nil })
+	if !errors.Is(err, ErrEquivocation) {
+		t.Fatalf("same-size/different-root STH: got %v, want ErrEquivocation", err)
+	}
+}
+
+func TestMonitorPollDetectsFork(t *testing.T) {
+	e := newChaosEnv(t, 3)
+	mustPoll(t, e.mon)
+	e.grow(t, 2)
+
+	// The log now serves a forked view: larger tree, valid signature,
+	// but no consistency proof can link it to the verified history.
+	e.chaos.SetFault(chaos.FaultFork)
+	err := e.mon.Poll(context.Background(), func(*ctlog.Entry) error { return nil })
+	if !errors.Is(err, ErrFork) {
+		t.Fatalf("forked STH: got %v, want ErrFork", err)
+	}
+}
+
+func TestMonitorPollRejectsBadSTHSignature(t *testing.T) {
+	e := newChaosEnv(t, 3)
+	e.chaos.SetFault(chaos.FaultBadSignature)
+	var streamed int
+	err := e.mon.Poll(context.Background(), func(*ctlog.Entry) error { streamed++; return nil })
+	if !errors.Is(err, sct.ErrInvalidSignature) {
+		t.Fatalf("tampered STH signature: got %v, want ErrInvalidSignature", err)
+	}
+	// The bogus head buys nothing: no entries are consumed under it.
+	if streamed != 0 {
+		t.Fatalf("%d entries streamed under an unverified STH", streamed)
+	}
+	if e.mon.LastSTH() != nil {
+		t.Fatal("unverified STH was adopted as lastSTH")
+	}
+}
+
+func TestMonitorPollAcceptsRepublishedHead(t *testing.T) {
+	e := newChaosEnv(t, 3)
+	var streamed int
+	fn := func(*ctlog.Entry) error { streamed++; return nil }
+	if err := e.mon.Poll(context.Background(), fn); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 3 {
+		t.Fatalf("first poll streamed %d entries, want 3", streamed)
+	}
+	// Same head again (idle republish): no error, nothing re-streamed.
+	if err := e.mon.Poll(context.Background(), fn); err != nil {
+		t.Fatalf("republished identical head must be accepted: %v", err)
+	}
+	if streamed != 3 {
+		t.Fatalf("republished head re-streamed entries: %d total, want 3", streamed)
+	}
+}

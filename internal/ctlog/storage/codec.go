@@ -84,6 +84,17 @@ const (
 	RecordCkptEnd    RecordType = 20
 )
 
+// Audit record types (the auditor's verified-STH chain rides the same
+// framing; see internal/auditor). An audit chain file is a stream of
+// RecordSTH records — each a tree head the auditor cryptographically
+// verified, in verification order — interleaved with RecordAuditCursor
+// records carrying the first entry index not yet consumed, so a
+// restarted auditor resumes from its durable verification frontier
+// instead of re-verifying (and re-alerting) from scratch.
+const (
+	RecordAuditCursor RecordType = 24
+)
+
 // Record is one decoded frame: a type tag and its payload bytes.
 type Record struct {
 	Type    RecordType
@@ -96,6 +107,8 @@ var (
 	SnapshotMagic = []byte{'C', 'T', 'S', 'N', 'P', 0, 0, 1}
 	// CheckpointMagic heads ecosystem harvest checkpoints.
 	CheckpointMagic = []byte{'C', 'T', 'H', 'R', 'V', 0, 0, 1}
+	// AuditMagic heads per-log auditor verified-STH chain files.
+	AuditMagic = []byte{'C', 'T', 'A', 'U', 'D', 0, 0, 1}
 )
 
 // MagicLen is the length of every file header.
@@ -260,6 +273,22 @@ func DecodeSTH(payload []byte) (STHRecord, error) {
 		return STHRecord{}, fmt.Errorf("%w: sth: %v", ErrCorrupt, err)
 	}
 	return s, nil
+}
+
+// EncodeAuditCursor encodes an audit cursor payload: the first entry
+// index the auditor has not yet consumed.
+func EncodeAuditCursor(next uint64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, next)
+	return out
+}
+
+// DecodeAuditCursor decodes an audit cursor payload.
+func DecodeAuditCursor(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("%w: audit cursor payload is %d bytes, want 8", ErrCorrupt, len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), nil
 }
 
 // EncodeUnstage encodes an unstage payload (the entry identity hash).
