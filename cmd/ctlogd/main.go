@@ -5,6 +5,7 @@
 //
 //	ctlogd [-addr 127.0.0.1:8764] [-name "Dev Log"] [-capacity N]
 //	       [-sequence 1s] [-data-dir DIR] [-snapshot-every N]
+//	       [-drain-timeout 10s]
 //
 // The ct/v1 endpoints (add-chain, add-pre-chain, get-sth,
 // get-sth-consistency, get-proof-by-hash, get-entries) are served under
@@ -20,9 +21,14 @@
 // accepted submission is fsynced to a write-ahead log before its SCT is
 // returned, and sequencing/publication checkpoints are fsynced so a
 // killed and restarted ctlogd serves the same STH and entries it served
-// before the crash. On SIGINT/SIGTERM the server drains, performs a
-// final sequence+publish, and writes a full snapshot so the next start
-// recovers without replaying the whole WAL.
+// before the crash. On SIGINT/SIGTERM the server drains gracefully:
+// new submissions are refused with 503 + Retry-After (a failover
+// signal the multi-log frontend rides out, not a dropped connection)
+// while in-flight ones finish — bounded by -drain-timeout — then the
+// sequencer's final sequence+publish lands and a full snapshot is
+// written so the next start recovers without replaying the whole WAL.
+// Reads (get-sth, get-entries, proofs) stay served throughout the
+// drain so monitors can watch the restart.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 
 	"ctrise/internal/ctlog"
 	"ctrise/internal/ctlog/storage"
+	"ctrise/internal/drain"
 	"ctrise/internal/sct"
 )
 
@@ -55,6 +62,7 @@ func main() {
 	interval := flag.Duration("sequence", time.Second, "sequencer batch interval (integrate staged entries + publish STH; must be positive)")
 	dataDir := flag.String("data-dir", "", "durable state directory (WAL + snapshots + signing key); empty = in-memory")
 	snapshotEvery := flag.Int("snapshot-every", 0, "full snapshot after this many newly sequenced entries (0 = default 4096, negative = only at shutdown); requires -data-dir")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight submissions on shutdown (new ones get 503 + Retry-After immediately)")
 	flag.Parse()
 	if *interval <= 0 {
 		log.Fatal("ctlogd: -sequence must be a positive duration")
@@ -106,7 +114,12 @@ func main() {
 		fmt.Fprintf(w, "%s (%s)\nlog id: %s\ntree size: %d (staged: %d)\n",
 			l.Name(), l.Operator(), l.LogID(), l.TreeSize(), l.PendingCount())
 	})
-	server := &http.Server{Addr: *addr, Handler: mux}
+	// The drain gate turns shutdown from "listener drops connections
+	// mid-handshake" into a protocol: add-chain/add-pre-chain answer
+	// 503 + Retry-After while the requests already accepted run to
+	// completion; reads stay available so monitors watch the restart.
+	gate := drain.NewGate(mux, nil, time.Second)
+	server := &http.Server{Addr: *addr, Handler: gate}
 	httpDone := make(chan error, 1)
 	go func() {
 		httpDone <- server.ListenAndServe()
@@ -119,10 +132,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ctlogd: %s listening on http://%s (log id %s, sequencing every %s, %s)\n",
 		*name, *addr, l.LogID(), *interval, mode)
 
-	// Drain in order: stop accepting HTTP work, let the sequencer's
-	// final publish land, then snapshot and close the store. seqDone is
+	// Drain in order: refuse new submissions (503 + Retry-After) while
+	// in-flight ones finish, then stop the listener, let the sequencer's
+	// final publish land, and snapshot + close the store. seqDone is
 	// nil when the sequencer's exit was already consumed by the select.
-	drain := func(seqDone <-chan error) {
+	drainServer := func(seqDone <-chan error) {
+		gate.BeginDrain()
+		waitCtx, cancelWait := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := gate.Wait(waitCtx); err != nil {
+			log.Printf("ctlogd: drain timeout: %d submission(s) still in flight", gate.Inflight())
+		}
+		cancelWait()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		server.Shutdown(shutCtx)
@@ -146,9 +166,9 @@ func main() {
 		}
 		// Canceled: the signal landed and the sequencer's exit won the
 		// select race against ctx.Done(); drain exactly as below.
-		drain(nil)
+		drainServer(nil)
 	case <-ctx.Done():
-		drain(seqDone)
+		drainServer(seqDone)
 	}
 }
 

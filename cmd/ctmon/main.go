@@ -33,9 +33,6 @@ package main
 
 import (
 	"context"
-	"crypto/ecdsa"
-	"crypto/x509"
-	"encoding/base64"
 	"errors"
 	"flag"
 	"fmt"
@@ -173,7 +170,7 @@ func parseLogSpec(spec string, mmd time.Duration) (auditor.LogConfig, error) {
 		return auditor.LogConfig{}, errors.New(`want "name,url,KEYSPEC"`)
 	}
 	name, url, keySpec := parts[0], parts[1], parts[2]
-	verifier, err := parseKeySpec(name, keySpec)
+	verifier, err := sct.ParseKeySpec(name, keySpec)
 	if err != nil {
 		return auditor.LogConfig{}, err
 	}
@@ -182,46 +179,6 @@ func parseLogSpec(spec string, mmd time.Duration) (auditor.LogConfig, error) {
 		Client: ctclient.New(url, verifier),
 		MMD:    mmd,
 	}, nil
-}
-
-// parseKeySpec resolves a KEYSPEC to an STH/SCT verifier.
-func parseKeySpec(name, spec string) (sct.SCTVerifier, error) {
-	switch {
-	case spec == "fast":
-		return sct.NewFastVerifier(name), nil
-	case strings.HasPrefix(spec, "pubkey:"):
-		der, err := base64.StdEncoding.DecodeString(strings.TrimPrefix(spec, "pubkey:"))
-		if err != nil {
-			return nil, fmt.Errorf("pubkey: %w", err)
-		}
-		return verifierFromDER(der)
-	case strings.HasPrefix(spec, "keyfile:"):
-		der, err := os.ReadFile(strings.TrimPrefix(spec, "keyfile:"))
-		if err != nil {
-			return nil, err
-		}
-		return verifierFromDER(der)
-	default:
-		return nil, fmt.Errorf("unknown KEYSPEC %q (want fast, pubkey:BASE64, or keyfile:PATH)", spec)
-	}
-}
-
-// verifierFromDER builds a verifier from a DER ECDSA key: PKIX public
-// (the published form) or SEC1 private (ctlogd's key.der, for dev
-// setups auditing a local log from its own key material).
-func verifierFromDER(der []byte) (sct.SCTVerifier, error) {
-	if pub, err := x509.ParsePKIXPublicKey(der); err == nil {
-		ec, ok := pub.(*ecdsa.PublicKey)
-		if !ok {
-			return nil, fmt.Errorf("log key is %T, want *ecdsa.PublicKey", pub)
-		}
-		return sct.NewVerifier(ec), nil
-	}
-	priv, err := x509.ParseECPrivateKey(der)
-	if err != nil {
-		return nil, errors.New("key is neither DER PKIX public nor DER EC private")
-	}
-	return sct.NewVerifier(&priv.PublicKey), nil
 }
 
 // entryNames extracts DNS names from an entry: synthetic-codec certs

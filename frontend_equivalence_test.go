@@ -50,6 +50,12 @@ func TestFrontendTimelineParallelEquivalence(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
+		// Load-aware routing must actually be engaged — the equivalence
+		// below proves weights commit deterministically, not that they
+		// were never computed.
+		if w.Frontend.WeightCommits() == 0 {
+			t.Fatal("frontend never committed routing weights during the timeline")
+		}
 		return trajectory, w.TotalEntries()
 	}
 

@@ -28,7 +28,7 @@ func TestConcurrentMetricsScrapeRaceProbe(t *testing.T) {
 	if _, err := lg.PublishSTH(); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(ctlog.NewHandler(lg))
+	srv := httptest.NewServer(lg.Handler())
 	defer srv.Close()
 
 	a, err := auditor.New(auditor.Config{Logs: []auditor.LogConfig{{

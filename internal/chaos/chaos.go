@@ -129,6 +129,7 @@ type faultState struct {
 
 	mu        sync.Mutex
 	burstLeft int
+	counts    [PlanDelay + 1]uint64
 }
 
 // next assigns the next request its plan, advancing burst state.
@@ -138,14 +139,31 @@ func (f *faultState) next() Plan {
 	defer f.mu.Unlock()
 	if f.burstLeft > 0 {
 		f.burstLeft--
+		f.counts[Plan503]++
 		return Plan503
 	}
 	p := f.sched.draw(i)
 	if p == Plan503 && f.sched.ErrBurst > 1 {
 		f.burstLeft = f.sched.ErrBurst - 1
 	}
+	f.counts[p]++
 	return p
 }
 
 // Requests reports how many requests have been assigned plans.
 func (f *faultState) Requests() uint64 { return f.n.Load() }
+
+// Counts reports how many requests were assigned each plan — the proof
+// a chaos test actually injected the faults it claims to have ridden
+// out, rather than passing vacuously on a too-gentle schedule.
+func (f *faultState) Counts() map[Plan]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Plan]uint64, len(f.counts))
+	for p, n := range f.counts {
+		if n > 0 {
+			out[Plan(p)] = n
+		}
+	}
+	return out
+}

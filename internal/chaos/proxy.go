@@ -35,6 +35,9 @@ func NewProxy(next http.Handler, sched Schedule) *Proxy {
 // Requests reports how many requests the proxy has seen.
 func (p *Proxy) Requests() uint64 { return p.state.Requests() }
 
+// Counts reports the injected faults by plan (PlanNone = passed clean).
+func (p *Proxy) Counts() map[Plan]uint64 { return p.state.Counts() }
+
 // ServeHTTP applies the scheduled fault, then (for PlanNone/PlanDelay)
 // forwards to the wrapped handler.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -45,6 +48,10 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// as a transport error.
 		panic(http.ErrAbortHandler)
 	case Plan503:
+		// Like a real overloaded/draining server, the injected 503
+		// carries a Retry-After hint; clients honoring it is part of
+		// what the chaos suites exercise.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
 		return
 	case PlanTruncate:
@@ -116,6 +123,9 @@ func NewTransport(base http.RoundTripper, sched Schedule) *Transport {
 // Requests reports how many requests the transport has seen.
 func (t *Transport) Requests() uint64 { return t.state.Requests() }
 
+// Counts reports the injected faults by plan (PlanNone = passed clean).
+func (t *Transport) Counts() map[Plan]uint64 { return t.state.Counts() }
+
 // RoundTrip applies the scheduled fault.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	switch t.state.next() {
@@ -128,9 +138,12 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			Proto:      req.Proto,
 			ProtoMajor: req.ProtoMajor,
 			ProtoMinor: req.ProtoMinor,
-			Header:     http.Header{"Content-Type": []string{"text/plain"}},
-			Body:       io.NopCloser(bytes.NewReader([]byte("chaos: injected 503\n"))),
-			Request:    req,
+			Header: http.Header{
+				"Content-Type": []string{"text/plain"},
+				"Retry-After":  []string{"1"},
+			},
+			Body:    io.NopCloser(bytes.NewReader([]byte("chaos: injected 503\n"))),
+			Request: req,
 		}, nil
 	case PlanTruncate:
 		resp, err := t.base.RoundTrip(req)

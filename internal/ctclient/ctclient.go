@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"ctrise/internal/ctlog"
@@ -57,6 +58,11 @@ var (
 type StatusError struct {
 	Code int
 	Path string
+	// RetryAfter is the server's Retry-After hint, when the response
+	// carried one (draining or overloaded servers send it with 503/429).
+	// Zero means no hint; the Monitor's retry loop raises its backoff to
+	// at least this.
+	RetryAfter time.Duration
 }
 
 // Error formats the status like the pre-typed error did.
@@ -66,6 +72,19 @@ func (e *StatusError) Error() string {
 
 // Is keeps errors.Is(err, ErrHTTPStatus) working.
 func (e *StatusError) Is(target error) bool { return target == ErrHTTPStatus }
+
+// statusError builds the StatusError for a non-200 response, capturing
+// the Retry-After hint. Only the delta-seconds form is parsed — the
+// HTTP-date form never comes from this repo's servers.
+func statusError(resp *http.Response, path string) *StatusError {
+	e := &StatusError{Code: resp.StatusCode, Path: path}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
 
 // Client talks to one log over HTTP.
 type Client struct {
@@ -104,7 +123,7 @@ func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return &StatusError{Code: resp.StatusCode, Path: path}
+		return statusError(resp, path)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return bodyError(path, err)
@@ -143,7 +162,7 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 		return ctlog.ErrOverloaded
 	}
 	if resp.StatusCode != http.StatusOK {
-		return &StatusError{Code: resp.StatusCode, Path: path}
+		return statusError(resp, path)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return bodyError(path, err)
@@ -401,7 +420,10 @@ const maxRetryBackoff = 30 * time.Second
 
 // retry runs fn, re-attempting transient failures up to MaxRetries
 // times with jittered exponential backoff (RetryBase doubling per
-// attempt, capped at maxRetryBackoff). The sleep respects ctx; on
+// attempt, capped at maxRetryBackoff). A server that sent a Retry-After
+// hint with its failure (a draining backend's 503) raises the backoff
+// floor to the hinted wait — the server knows its own restart schedule
+// better than the client's doubling does. The sleep respects ctx; on
 // cancellation mid-backoff the last fetch error is returned (the
 // caller's next ctx check reports the cancellation).
 func (m *Monitor) retry(ctx context.Context, fn func() error) error {
@@ -418,6 +440,10 @@ func (m *Monitor) retry(ctx context.Context, fn func() error) error {
 		if d <= 0 || d > maxRetryBackoff {
 			// Cap reached — or the shift overflowed past it.
 			d = maxRetryBackoff
+		}
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > d {
+			d = min(se.RetryAfter, maxRetryBackoff)
 		}
 		d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 		timer := time.NewTimer(d)

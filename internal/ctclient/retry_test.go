@@ -260,3 +260,66 @@ func TestMonitorRetryRespectsContextCancellation(t *testing.T) {
 		t.Fatal("retry sleep ignored context cancellation")
 	}
 }
+
+func TestStatusErrorCarriesRetryAfter(t *testing.T) {
+	// A draining server's 503 + Retry-After must surface on the typed
+	// error so callers (and the retry loop) can honor the server's own
+	// schedule instead of guessing.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil)
+	_, err := c.GetSTH(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", se.RetryAfter)
+	}
+
+	// Garbage and HTTP-date hints are ignored, not misparsed.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "Wed, 21 Oct 2015 07:28:00 GMT")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	_, err = New(bad.URL, nil).GetSTH(context.Background())
+	if !errors.As(err, &se) || se.RetryAfter != 0 {
+		t.Fatalf("err = %v, want StatusError with zero RetryAfter", err)
+	}
+}
+
+func TestMonitorRetryHonorsRetryAfterHint(t *testing.T) {
+	// The server fails once with Retry-After: 1 while the monitor's own
+	// backoff base is microseconds. The retry must wait at least the
+	// hinted second — the draining server knows its restart schedule
+	// better than the client's doubling does.
+	l := newMonitoredLog(t, 3)
+	inner := l.Handler()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/ct/v1/get-sth" && hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	m := fastRetryMonitor(New(srv.URL, l.Verifier()))
+	startAt := time.Now()
+	if err := m.Poll(context.Background(), func(*ctlog.Entry) error { return nil }); err != nil {
+		t.Fatalf("Poll should have ridden out the draining 503: %v", err)
+	}
+	if elapsed := time.Since(startAt); elapsed < time.Second {
+		t.Fatalf("retry waited only %v; the Retry-After: 1 hint was ignored", elapsed)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("get-sth hit %d times, want 2", n)
+	}
+}

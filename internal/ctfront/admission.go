@@ -1,0 +1,184 @@
+package ctfront
+
+import (
+	"sync"
+	"time"
+)
+
+// admission is the frontend's HTTP-side admission controller: a global
+// and a per-client token bucket plus a bounded in-flight semaphore.
+// It protects the backend pool from a single hot client and from queue
+// collapse — excess work is shed immediately with 429/503 +
+// Retry-After rather than queued until every request times out. The
+// in-process submission path (the deterministic ecosystem replay) never
+// passes through it.
+type admission struct {
+	cfg *Config
+	sem chan struct{} // nil = unbounded in-flight
+
+	mu      sync.Mutex
+	global  bucket
+	clients map[string]*bucket
+
+	admitted     uint64
+	shedInflight uint64
+	shedGlobal   uint64
+	shedClient   uint64
+}
+
+// bucket is a token bucket refilled by elapsed clock time.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills by the time elapsed since the last draw and consumes one
+// token if available.
+func (b *bucket) take(now time.Time, rate, burst float64) bool {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * rate
+	}
+	b.last = now
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// maxClientBuckets caps the per-client map; beyond it, idle (full)
+// buckets are evicted before any shed decision penalizes a new client.
+const maxClientBuckets = 4096
+
+// verdict is the admission decision for one request.
+type verdict int
+
+const (
+	admitOK verdict = iota
+	shedInflight
+	shedGlobalRate
+	shedClientRate
+)
+
+func newAdmission(cfg *Config) *admission {
+	a := &admission{cfg: cfg, clients: make(map[string]*bucket)}
+	if cfg.MaxInflight > 0 {
+		a.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.GlobalRate > 0 {
+		a.global.tokens = a.burst(cfg.GlobalRate, cfg.GlobalBurst)
+	}
+	return a
+}
+
+func (a *admission) burst(rate, burst float64) float64 {
+	if burst > 0 {
+		return burst
+	}
+	if rate < 1 {
+		return 1
+	}
+	return rate
+}
+
+// admit runs the admission checks for one submission from client (the
+// remote host). On admitOK the returned release must be called when the
+// request finishes; on any shed verdict release is nil.
+func (a *admission) admit(client string) (verdict, func()) {
+	now := a.cfg.Clock()
+	a.mu.Lock()
+	if a.cfg.GlobalRate > 0 && !a.global.take(now, a.cfg.GlobalRate, a.burst(a.cfg.GlobalRate, a.cfg.GlobalBurst)) {
+		a.shedGlobal++
+		a.mu.Unlock()
+		return shedGlobalRate, nil
+	}
+	if a.cfg.ClientRate > 0 {
+		b := a.clients[client]
+		if b == nil {
+			a.evictIdleLocked(now)
+			b = &bucket{tokens: a.burst(a.cfg.ClientRate, a.cfg.ClientBurst), last: now}
+			a.clients[client] = b
+		}
+		if !b.take(now, a.cfg.ClientRate, a.burst(a.cfg.ClientRate, a.cfg.ClientBurst)) {
+			a.shedClient++
+			a.mu.Unlock()
+			return shedClientRate, nil
+		}
+	}
+	a.mu.Unlock()
+
+	if a.sem != nil {
+		select {
+		case a.sem <- struct{}{}:
+		default:
+			// Full: shed now instead of queueing into collapse. The
+			// client's Retry-After is its queue.
+			a.mu.Lock()
+			a.shedInflight++
+			a.mu.Unlock()
+			return shedInflight, nil
+		}
+	}
+	a.mu.Lock()
+	a.admitted++
+	a.mu.Unlock()
+	if a.sem == nil {
+		return admitOK, func() {}
+	}
+	return admitOK, func() { <-a.sem }
+}
+
+// evictIdleLocked bounds the client map: when at capacity, buckets that
+// have refilled to their burst (no recent traffic) are dropped. Called
+// with a.mu held.
+func (a *admission) evictIdleLocked(now time.Time) {
+	if len(a.clients) < maxClientBuckets {
+		return
+	}
+	burst := a.burst(a.cfg.ClientRate, a.cfg.ClientBurst)
+	for host, b := range a.clients {
+		if elapsed := now.Sub(b.last).Seconds(); b.tokens+elapsed*a.cfg.ClientRate >= burst {
+			delete(a.clients, host)
+		}
+	}
+}
+
+// Inflight reports currently admitted, unfinished HTTP submissions.
+func (a *admission) Inflight() int {
+	if a.sem == nil {
+		return -1
+	}
+	return len(a.sem)
+}
+
+// AdmissionStats is the admission controller's counter snapshot.
+type AdmissionStats struct {
+	Admitted uint64 // submissions admitted to the fan-out engine
+	// Shed counters, by mechanism.
+	ShedInflight   uint64 // 503: in-flight semaphore full
+	ShedGlobalRate uint64 // 429: global token bucket empty
+	ShedClientRate uint64 // 429: the client's token bucket empty
+	ShedDraining   uint64 // 503: refused by the drain gate
+	Inflight       int    // currently executing (-1 when unbounded)
+}
+
+// AdmissionStats snapshots the HTTP admission counters.
+func (f *Frontend) AdmissionStats() AdmissionStats {
+	a := f.admission
+	a.mu.Lock()
+	s := AdmissionStats{
+		Admitted:       a.admitted,
+		ShedInflight:   a.shedInflight,
+		ShedGlobalRate: a.shedGlobal,
+		ShedClientRate: a.shedClient,
+	}
+	a.mu.Unlock()
+	s.Inflight = a.Inflight()
+	if g := f.drainGate(); g != nil {
+		s.ShedDraining = g.Refused()
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package ctfront
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ctrise/internal/chaos"
+	"ctrise/internal/ctclient"
+	"ctrise/internal/ctlog"
+	"ctrise/internal/policy"
+	"ctrise/internal/sct"
+)
+
+// newChaosRemotePool serves n in-process logs over httptest, wiring each
+// ctclient backend through its own chaos.Transport so tests can script
+// per-backend network faults. The explicit per-backend verifier keeps
+// the remote pool signature-verified, the posture cmd/ctfront defaults
+// to.
+func newChaosRemotePool(t *testing.T, clock *testClock, scheds []chaos.Schedule, googles ...int) ([]BackendSpec, []*chaos.Transport) {
+	t.Helper()
+	isGoogle := map[int]bool{}
+	for _, g := range googles {
+		isGoogle[g] = true
+	}
+	specs := make([]BackendSpec, len(scheds))
+	transports := make([]*chaos.Transport, len(scheds))
+	for i := range scheds {
+		name := string(rune('a'+i)) + "-log"
+		op := "op-" + name
+		if isGoogle[i] {
+			op = "Google"
+		}
+		l, err := ctlog.New(ctlog.Config{
+			Name:     name,
+			Operator: op,
+			Signer:   sct.NewFastSigner(name),
+			Clock:    clock.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(l.Handler())
+		t.Cleanup(srv.Close)
+		transports[i] = chaos.NewTransport(nil, scheds[i])
+		client := ctclient.New(srv.URL, nil)
+		client.HTTPClient = &http.Client{Transport: transports[i]}
+		specs[i] = BackendSpec{
+			Backend:        ctclient.NewSubmitter(name, client),
+			Operator:       op,
+			GoogleOperated: isGoogle[i],
+			Verifier:       sct.NewFastVerifier(name),
+		}
+	}
+	return specs, transports
+}
+
+func TestFrontendChaosTransportFailoverAcrossPasses(t *testing.T) {
+	// Every non-Google backend's first request is a scripted 503: pass
+	// one burns through all three (each failure re-planning onto the
+	// next spare), leaving only the Google SCT. The second pass retries
+	// the backed-off pool and completes the bundle — zero submissions
+	// lost to a fault wave that briefly took out an entire policy group.
+	clock := newTestClock()
+	scheds := []chaos.Schedule{
+		{}, // a-log (Google): clean
+		{Script: []chaos.Plan{chaos.Plan503}},
+		{Script: []chaos.Plan{chaos.Plan503}},
+		{Script: []chaos.Plan{chaos.Plan503}},
+	}
+	specs, transports := newChaosRemotePool(t, clock, scheds, 0)
+	f, err := New(Config{
+		Backends:        specs,
+		Seed:            9,
+		Clock:           clock.Now,
+		BackoffBase:     time.Hour,
+		MaxSubmitPasses: 2,
+		RetryPause:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifetime := 90 * 24 * time.Hour
+	bundle, err := f.AddPreChain(context.Background(), [32]byte{21}, testTBS(t, 1, lifetime))
+	if err != nil {
+		t.Fatalf("submission lost to a transient 503 wave: %v", err)
+	}
+	if !policy.SetCompliant(bundleCandidates(f, bundle), lifetime) {
+		t.Fatalf("bundle %v not compliant", bundle.LogNames())
+	}
+	if len(bundle.SCTs) != 2 {
+		t.Fatalf("bundle has %d SCTs, want 2", len(bundle.SCTs))
+	}
+
+	// The injected faults actually fired: one 503 per non-Google
+	// transport, consumed during the first pass's failover chain.
+	var injected uint64
+	for i, tr := range transports[1:] {
+		if n := tr.Counts()[chaos.Plan503]; n != 1 {
+			t.Fatalf("transport %d injected %d 503s, want 1", i+1, n)
+		}
+		injected += tr.Counts()[chaos.Plan503]
+	}
+	if injected != 3 {
+		t.Fatalf("injected %d 503s, want 3", injected)
+	}
+
+	// Backoff bookkeeping: every non-Google backend was penalized once;
+	// the one that served pass two recovered (consecutive fails reset),
+	// the other two are still quarantined until their penalty expires.
+	var recovered, quarantined int
+	for _, h := range f.Health() {
+		if h.GoogleOperated {
+			continue
+		}
+		if h.Failures != 1 {
+			t.Fatalf("backend %s has %d failures, want 1", h.Name, h.Failures)
+		}
+		if h.Successes > 0 {
+			if !h.Healthy || h.ConsecutiveFails != 0 {
+				t.Fatalf("recovered backend %s still penalized: %+v", h.Name, h)
+			}
+			recovered++
+		} else {
+			if h.Healthy {
+				t.Fatalf("failed backend %s not in backoff: %+v", h.Name, h)
+			}
+			quarantined++
+		}
+	}
+	if recovered != 1 || quarantined != 2 {
+		t.Fatalf("recovered=%d quarantined=%d, want 1 and 2", recovered, quarantined)
+	}
+}
+
+func TestFrontendChaosDelayedTransportTriggersHedge(t *testing.T) {
+	// Both non-Google transports delay their first request well past the
+	// hedge threshold. Whichever the plan picks is presumed slow, the
+	// spare is engaged, and the submission completes — with the hedge
+	// recorded — instead of waiting out the full delay alone.
+	clock := newTestClock()
+	delay := 250 * time.Millisecond
+	scheds := []chaos.Schedule{
+		{}, // a-log (Google): clean
+		{Script: []chaos.Plan{chaos.PlanDelay}, Delay: delay},
+		{Script: []chaos.Plan{chaos.PlanDelay}, Delay: delay},
+	}
+	specs, transports := newChaosRemotePool(t, clock, scheds, 0)
+	// Real wall clock: hedging is a tail-latency mechanism and the
+	// chaos delay is a real sleep.
+	f, err := New(Config{Backends: specs, Seed: 5, Hedge: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifetime := 90 * 24 * time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	bundle, err := f.AddPreChain(ctx, [32]byte{22}, testTBS(t, 1, lifetime))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !policy.SetCompliant(bundleCandidates(f, bundle), lifetime) {
+		t.Fatalf("bundle %v not compliant", bundle.LogNames())
+	}
+	if n := transports[1].Requests() + transports[2].Requests(); n != 2 {
+		t.Fatalf("non-Google transports saw %d requests, want 2 (planned + hedged spare)", n)
+	}
+	var hedged, delays uint64
+	for _, h := range f.Health() {
+		hedged += h.Hedged
+	}
+	for _, tr := range transports[1:] {
+		delays += tr.Counts()[chaos.PlanDelay]
+	}
+	if hedged == 0 {
+		t.Fatal("no backend was recorded as hedged against")
+	}
+	if delays == 0 {
+		t.Fatal("no chaos delay fired; the hedge was never provoked")
+	}
+}

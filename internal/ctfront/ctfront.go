@@ -8,19 +8,29 @@
 // exactly this kind of fan-out.
 //
 // The frontend plans each submission with policy.SelectCompliant over a
-// deterministic, seed-derived preference ranking of the healthy
-// backends: the ranking is a pure function of (seed, submission
-// identity, backend name), so a replayed workload routes identically at
-// any concurrency — the property the ecosystem equivalence tests pin
-// down. Failures re-plan against the remaining candidates: the gap the
-// failed backend leaves (its Google/non-Google role, its SCT count) is
-// re-closed from the next-ranked spare, and per-backend consecutive-
-// failure backoff keeps a dead backend out of subsequent plans until
-// its penalty expires. Optionally (Config.Hedge) a backend that has not
-// answered within the hedge delay is presumed slow and a spare is
-// engaged concurrently — whichever answers first contributes to the
-// bundle; hedging trades determinism for tail latency, so deterministic
-// replays leave it off.
+// deterministic preference ranking of the healthy backends: committed
+// load weight first (CommitWeights folds observed tree-size growth and
+// a latency EWMA into coarse integer buckets at explicit commit points,
+// never mid-submission), then a seed-derived key that is a pure
+// function of (seed, submission identity, backend name) — so a replayed
+// workload routes identically at any concurrency, the property the
+// ecosystem equivalence tests pin down. Failures re-plan against the
+// remaining candidates: the gap the failed backend leaves (its
+// Google/non-Google role, its SCT count) is re-closed from the
+// next-ranked spare, and per-backend consecutive-failure backoff keeps
+// a dead backend out of subsequent plans until its penalty expires.
+// Optionally (Config.Hedge) a backend that has not answered within the
+// hedge delay is presumed slow and a spare is engaged concurrently —
+// whichever answers first contributes to the bundle; hedging trades
+// determinism for tail latency, so deterministic replays leave it off.
+//
+// Collected SCTs are not trusted: when a backend's key is known (an
+// explicit BackendSpec.Verifier, or derived from the backend itself —
+// LocalLog exposes the wrapped log's verifier), every SCT signature is
+// checked before it may join a bundle. A bad signature is ErrBadSCT:
+// it counts as a backend failure (backoff + the BadSCTs counter) and
+// the SCT is discarded, so a misbehaving or wrong-key backend is
+// quarantined rather than poisoning the client's bundle.
 //
 // Backends are anything implementing Backend: in-process logs
 // (LocalLog wraps *ctlog.Log) or remote logs over the ct/v1 HTTP API
@@ -34,11 +44,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"ctrise/internal/certs"
+	"ctrise/internal/drain"
 	"ctrise/internal/policy"
 	"ctrise/internal/sct"
 	"ctrise/internal/stats"
@@ -51,6 +63,10 @@ var (
 	// ErrSubmission wraps a fan-out that could not assemble a compliant
 	// SCT set: every viable plan was exhausted by backend failures.
 	ErrSubmission = errors.New("ctfront: could not assemble a policy-compliant SCT set")
+	// ErrBadSCT means a backend returned an SCT whose signature does not
+	// verify under the backend's configured key. The backend is treated
+	// as failed (backoff + counter); the SCT never reaches a bundle.
+	ErrBadSCT = errors.New("ctfront: SCT signature verification failed")
 )
 
 // Backend is one log the frontend can submit to. *ctlog.Log wrapped in
@@ -95,6 +111,25 @@ func (b LocalLog) AddPreChain(ctx context.Context, issuerKeyHash [32]byte, tbs [
 	return b.Log.AddPreChain(issuerKeyHash, tbs)
 }
 
+// Verifier exposes the wrapped log's own SCT verifier when it has one
+// (*ctlog.Log does), so New derives the verification key from the log
+// itself — an in-process backend is always verified.
+func (b LocalLog) Verifier() sct.SCTVerifier {
+	if v, ok := b.Log.(interface{ Verifier() sct.SCTVerifier }); ok {
+		return v.Verifier()
+	}
+	return nil
+}
+
+// TreeSize exposes the wrapped log's sequenced tree size when available,
+// feeding CommitWeights' growth observation.
+func (b LocalLog) TreeSize() (uint64, bool) {
+	if t, ok := b.Log.(interface{ TreeSize() uint64 }); ok {
+		return t.TreeSize(), true
+	}
+	return 0, false
+}
+
 // BackendSpec pairs a Backend with its policy metadata.
 type BackendSpec struct {
 	Backend Backend
@@ -103,6 +138,12 @@ type BackendSpec struct {
 	Operator string
 	// GoogleOperated marks Google's own logs (the one-Google rule).
 	GoogleOperated bool
+	// Verifier checks the backend's SCT signatures before bundling.
+	// When nil, New asks the backend itself (a Verifier() method, as on
+	// LocalLog); a backend with no key at all is accepted unverified —
+	// cmd/ctfront requires an explicit KEYSPEC (or "none") so remote
+	// pools are verified by default.
+	Verifier sct.SCTVerifier
 }
 
 // Config configures a Frontend.
@@ -130,10 +171,46 @@ type Config struct {
 	// (policy.MinSCTs scales the SCT count with lifetime). Defaults to
 	// 90 days.
 	DefaultLifetime time.Duration
+	// MaxSubmitPasses bounds how many planning passes one submission may
+	// run. The default 1 keeps the original single-pass behavior: when
+	// every candidate has been tried the submission fails. A higher
+	// bound lets the frontend pause (RetryPause), re-evaluate backend
+	// health, and re-plan with the SCTs already collected — the posture
+	// a rolling restart needs, where "every backend failed" usually
+	// means "one backend is mid-restart, try again shortly". Replayed
+	// deterministic workloads never fail a pass, so extra passes cost
+	// them nothing.
+	MaxSubmitPasses int
+	// RetryPause is the wait between submission passes. Defaults to
+	// 50ms when MaxSubmitPasses > 1.
+	RetryPause time.Duration
 	// Clock supplies the frontend's notion of now, for backoff
 	// bookkeeping. Defaults to time.Now. Experiments install a virtual
 	// clock.
 	Clock func() time.Time
+
+	// Admission control, applied by the HTTP handlers (Handler) only —
+	// in-process callers (the ecosystem replay) are trusted and the
+	// deterministic submission path stays untouched. Zero values
+	// disable each mechanism.
+
+	// MaxInflight bounds concurrently executing HTTP submissions;
+	// excess requests are shed immediately with 503 + Retry-After
+	// (shedding beats queue collapse). 0 = unbounded.
+	MaxInflight int
+	// GlobalRate/GlobalBurst form the pool-wide submission token
+	// bucket (tokens per second / bucket depth). Exceeding it is 429 +
+	// Retry-After. GlobalRate 0 disables; GlobalBurst defaults to
+	// GlobalRate.
+	GlobalRate  float64
+	GlobalBurst float64
+	// ClientRate/ClientBurst form the per-client (remote host) token
+	// bucket, same semantics.
+	ClientRate  float64
+	ClientBurst float64
+	// RetryAfter is the hint sent with every shed/throttled/drained
+	// response. Defaults to 1s.
+	RetryAfter time.Duration
 }
 
 // BundleSCT is one SCT of a bundle, attributed to its log.
@@ -168,10 +245,12 @@ func (b *Bundle) candidates(f *Frontend) []policy.Candidate {
 	return out
 }
 
-// backendState is one backend plus its mutable health.
+// backendState is one backend plus its mutable health and load
+// observations.
 type backendState struct {
-	spec BackendSpec
-	cand policy.Candidate
+	spec     BackendSpec
+	cand     policy.Candidate
+	verifier sct.SCTVerifier
 
 	mu           sync.Mutex
 	consecFails  int
@@ -179,6 +258,16 @@ type backendState struct {
 	successes    uint64
 	failures     uint64
 	hedged       uint64
+	badSCTs      uint64
+
+	// Live load observations, folded into routing only at
+	// CommitWeights so mid-submission state never perturbs the
+	// deterministic ranking.
+	epochSuccesses uint64
+	ewmaLatencyUs  int64 // EWMA of successful-call latency, microseconds
+	lastTreeSize   uint64
+	haveTreeSize   bool
+	weight         int // committed routing weight; lower routes earlier
 }
 
 // healthyAt reports whether the backend is outside its failure penalty.
@@ -188,24 +277,56 @@ func (s *backendState) healthyAt(now time.Time) bool {
 	return !now.Before(s.backoffUntil)
 }
 
-func (s *backendState) recordSuccess() {
+func (s *backendState) recordSuccess(latency time.Duration) {
+	obs := latency.Microseconds()
+	if obs < 0 {
+		obs = 0
+	}
 	s.mu.Lock()
 	s.consecFails = 0
 	s.backoffUntil = time.Time{}
 	s.successes++
+	s.epochSuccesses++
+	if s.ewmaLatencyUs == 0 {
+		s.ewmaLatencyUs = obs
+	} else {
+		s.ewmaLatencyUs += (obs - s.ewmaLatencyUs) / 4
+	}
 	s.mu.Unlock()
 }
 
 func (s *backendState) recordFailure(now time.Time, base, maxPenalty time.Duration) {
 	s.mu.Lock()
 	s.failures++
+	s.applyBackoffLocked(now, base, maxPenalty)
+	s.mu.Unlock()
+}
+
+// recordBadSCT penalizes a backend whose SCT failed signature
+// verification exactly like a failed call, and counts it separately —
+// the counter the tampered-key regression pins.
+func (s *backendState) recordBadSCT(now time.Time, base, maxPenalty time.Duration) {
+	s.mu.Lock()
+	s.failures++
+	s.badSCTs++
+	s.applyBackoffLocked(now, base, maxPenalty)
+	s.mu.Unlock()
+}
+
+func (s *backendState) applyBackoffLocked(now time.Time, base, maxPenalty time.Duration) {
 	s.consecFails++
 	penalty := base << (s.consecFails - 1)
 	if penalty > maxPenalty || penalty <= 0 {
 		penalty = maxPenalty
 	}
 	s.backoffUntil = now.Add(penalty)
-	s.mu.Unlock()
+}
+
+// committedWeight reads the routing weight last frozen by CommitWeights.
+func (s *backendState) committedWeight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.weight
 }
 
 // Frontend fans submissions out to a backend pool until the collected
@@ -214,6 +335,15 @@ type Frontend struct {
 	cfg          Config
 	backends     []*backendState
 	googleByName map[string]bool
+	admission    *admission
+
+	// The HTTP surface is built once (Handler); the drain gate wraps it.
+	handlerOnce sync.Once
+	handler     http.Handler
+	gate        *drain.Gate
+
+	mu            sync.Mutex
+	weightCommits uint64
 }
 
 // New validates cfg and assembles a Frontend.
@@ -233,7 +363,14 @@ func New(cfg Config) (*Frontend, error) {
 	if cfg.DefaultLifetime <= 0 {
 		cfg.DefaultLifetime = 90 * 24 * time.Hour
 	}
+	if cfg.MaxSubmitPasses < 1 {
+		cfg.MaxSubmitPasses = 1
+	}
+	if cfg.RetryPause <= 0 {
+		cfg.RetryPause = 50 * time.Millisecond
+	}
 	f := &Frontend{cfg: cfg, googleByName: make(map[string]bool, len(cfg.Backends))}
+	f.admission = newAdmission(&f.cfg)
 	seen := make(map[string]bool, len(cfg.Backends))
 	for _, spec := range cfg.Backends {
 		name := spec.Backend.Name()
@@ -244,9 +381,19 @@ func New(cfg Config) (*Frontend, error) {
 		if spec.Operator == "" {
 			spec.Operator = name
 		}
+		verifier := spec.Verifier
+		if verifier == nil {
+			// Ask the backend itself: LocalLog (and anything else that
+			// can name its own key) makes in-process pools verified
+			// without configuration.
+			if v, ok := spec.Backend.(interface{ Verifier() sct.SCTVerifier }); ok {
+				verifier = v.Verifier()
+			}
+		}
 		f.backends = append(f.backends, &backendState{
-			spec: spec,
-			cand: policy.Candidate{Name: name, Operator: spec.Operator, GoogleOperated: spec.GoogleOperated},
+			spec:     spec,
+			cand:     policy.Candidate{Name: name, Operator: spec.Operator, GoogleOperated: spec.GoogleOperated},
+			verifier: verifier,
 		})
 		f.googleByName[name] = spec.GoogleOperated
 	}
@@ -255,16 +402,16 @@ func New(cfg Config) (*Frontend, error) {
 
 // AddChain fans a final certificate out until the SCT set is compliant.
 func (f *Frontend) AddChain(ctx context.Context, cert []byte) (*Bundle, error) {
-	id := submissionID(sct.X509Entry(cert))
-	return f.submit(ctx, id, f.lifetimeOf(cert), func(ctx context.Context, b Backend) (*sct.SignedCertificateTimestamp, error) {
+	entry := sct.X509Entry(cert)
+	return f.submit(ctx, entry, f.lifetimeOf(cert), func(ctx context.Context, b Backend) (*sct.SignedCertificateTimestamp, error) {
 		return b.AddChain(ctx, cert)
 	})
 }
 
 // AddPreChain fans a precertificate out until the SCT set is compliant.
 func (f *Frontend) AddPreChain(ctx context.Context, issuerKeyHash [32]byte, tbs []byte) (*Bundle, error) {
-	id := submissionID(sct.PrecertEntry(issuerKeyHash, tbs))
-	return f.submit(ctx, id, f.lifetimeOf(tbs), func(ctx context.Context, b Backend) (*sct.SignedCertificateTimestamp, error) {
+	entry := sct.PrecertEntry(issuerKeyHash, tbs)
+	return f.submit(ctx, entry, f.lifetimeOf(tbs), func(ctx context.Context, b Backend) (*sct.SignedCertificateTimestamp, error) {
 		return b.AddPreChain(ctx, issuerKeyHash, tbs)
 	})
 }
@@ -303,29 +450,22 @@ func submissionID(ce sct.CertificateEntry) uint64 {
 func rankMix(z uint64) uint64 { return stats.Mix64(z + 0x9e3779b97f4a7c15) }
 
 // rank returns the pool indices in this submission's deterministic
-// preference order: sorted by mix64(seed, submission id, backend name).
-// The order depends on nothing mutable, so identical workloads route
-// identically regardless of concurrency or scheduling.
+// preference order: committed routing weight ascending (load-aware),
+// then mix64(seed, submission id, backend name) spreading equal-weight
+// backends, then name. The order depends only on committed state and
+// the submission identity — never mid-submission observations — so
+// identical workloads with identical commit points route identically
+// regardless of concurrency or scheduling.
 func (f *Frontend) rank(id uint64) []int {
-	type ranked struct {
-		idx int
-		key uint64
-	}
-	rs := make([]ranked, len(f.backends))
+	rs := make([]policy.Ranked, len(f.backends))
 	for i, s := range f.backends {
-		rs[i] = ranked{i, rankMix(uint64(f.cfg.Seed) ^ rankMix(id) ^ stats.Hash64(s.cand.Name))}
-	}
-	sort.Slice(rs, func(a, b int) bool {
-		if rs[a].key != rs[b].key {
-			return rs[a].key < rs[b].key
+		rs[i] = policy.Ranked{
+			Weight: s.committedWeight(),
+			Key:    rankMix(uint64(f.cfg.Seed) ^ rankMix(id) ^ stats.Hash64(s.cand.Name)),
+			Name:   s.cand.Name,
 		}
-		return f.backends[rs[a].idx].cand.Name < f.backends[rs[b].idx].cand.Name
-	})
-	out := make([]int, len(rs))
-	for i, r := range rs {
-		out[i] = r.idx
 	}
-	return out
+	return policy.Order(rs)
 }
 
 // result is one backend's answer to a fan-out.
@@ -335,20 +475,58 @@ type result struct {
 	err error
 }
 
-// submit is the fan-out engine shared by AddChain and AddPreChain.
+// submit drives submitPass up to MaxSubmitPasses times. A pass ends
+// either with a compliant bundle or with every viable candidate tried;
+// between passes the frontend pauses RetryPause and re-plans with the
+// SCTs already collected — during a rolling restart "everything
+// failed" usually means "one backend is mid-restart", and the next
+// pass finds it (or its revived peers) again. Deterministic replays
+// never fail a pass, so the loop degenerates to the single-pass engine
+// there.
+func (f *Frontend) submit(ctx context.Context, entry sct.CertificateEntry, lifetime time.Duration, call func(context.Context, Backend) (*sct.SignedCertificateTimestamp, error)) (*Bundle, error) {
+	id := submissionID(entry)
+	bundle := &Bundle{}
+	var err error
+	for pass := 0; pass < f.cfg.MaxSubmitPasses; pass++ {
+		if pass > 0 {
+			timer := time.NewTimer(f.cfg.RetryPause)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		var done bool
+		done, err = f.submitPass(ctx, id, lifetime, entry, call, bundle)
+		if done {
+			return bundle, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// submitPass is the fan-out engine shared by AddChain and AddPreChain.
 //
 // It plans the initial backend set with policy.SelectCompliant over the
 // healthy pool in deterministic rank order, launches the plan
-// concurrently, and then runs an event loop: a success adds the SCT to
-// the bundle (done when the bundle is compliant), a failure re-plans
-// the remaining gap from untried spares, and an expired hedge timer
-// presumes the slowest in-flight backend failed and engages its spare
-// without waiting. Backends that fail accrue exponential backoff and
-// drop out of subsequent submissions' healthy pool; when the healthy
-// pool alone cannot satisfy the policy the frontend degrades gracefully
-// and plans over the full pool (trying a backed-off backend beats
-// refusing the submission).
-func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration, call func(context.Context, Backend) (*sct.SignedCertificateTimestamp, error)) (*Bundle, error) {
+// concurrently, and then runs an event loop: a success adds the
+// (signature-verified) SCT to the bundle (done when the bundle is
+// compliant), a failure re-plans the remaining gap from untried spares,
+// and an expired hedge timer presumes the slowest in-flight backend
+// failed and engages its spare without waiting. Backends that fail
+// accrue exponential backoff and drop out of subsequent submissions'
+// healthy pool; when the healthy pool alone cannot satisfy the policy
+// the frontend degrades gracefully and plans over the full pool (trying
+// a backed-off backend beats refusing the submission).
+//
+// bundle carries SCTs already collected by earlier passes; logs in it
+// are never re-planned. It reports done=true once the bundle is
+// compliant (sorted in launch order).
+func (f *Frontend) submitPass(ctx context.Context, id uint64, lifetime time.Duration, entry sct.CertificateEntry, call func(context.Context, Backend) (*sct.SignedCertificateTimestamp, error), bundle *Bundle) (bool, error) {
 	now := f.cfg.Clock()
 	order := f.rank(id)
 	healthy := order[:0:0]
@@ -365,10 +543,17 @@ func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration
 	// Buffered so stragglers (hedged losers, post-compliance answers)
 	// never block; their goroutines still record health.
 	results := make(chan result, len(f.backends))
-	bundle := &Bundle{}
 	inflight := map[int]time.Time{} // pool index -> launch time
 	tried := map[int]bool{}
 	launchSeq := map[string]int{} // log name -> launch order
+	for _, s := range bundle.SCTs {
+		// SCTs carried over from an earlier pass keep their collection
+		// order ahead of anything this pass launches.
+		launchSeq[s.LogName] = len(launchSeq)
+		if i, ok := f.indexOf(s.LogName); ok {
+			tried[i] = true
+		}
+	}
 	var lastErr error
 
 	launch := func(idx int) {
@@ -383,10 +568,23 @@ func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration
 				cctx, cancel = context.WithTimeout(ctx, f.cfg.Timeout)
 				defer cancel()
 			}
+			start := f.cfg.Clock()
 			got, err := call(cctx, s.spec.Backend)
 			switch {
 			case err == nil:
-				s.recordSuccess()
+				if s.verifier != nil {
+					if verr := s.verifier.VerifySCT(got, entry); verr != nil {
+						// The backend answered with a signature its
+						// configured key rejects: quarantine it like any
+						// failure and keep the poisoned SCT out of the
+						// bundle.
+						got = nil
+						err = fmt.Errorf("%w: %s: %v", ErrBadSCT, s.cand.Name, verr)
+						s.recordBadSCT(f.cfg.Clock(), f.cfg.BackoffBase, f.cfg.BackoffMax)
+						break
+					}
+				}
+				s.recordSuccess(f.cfg.Clock().Sub(start))
 			case ctx.Err() != nil:
 				// The caller went away (client disconnect, parent
 				// deadline) — the backend did nothing wrong, so its
@@ -440,8 +638,13 @@ func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration
 		return true
 	}
 
+	if policy.SetCompliant(bundle.candidates(f), lifetime) {
+		// Carried-over SCTs already satisfy the policy (a prior pass
+		// ended compliant mid-replan); nothing to launch.
+		return true, nil
+	}
 	if !plan(nil) {
-		return nil, fmt.Errorf("%w: %w", ErrSubmission, policy.ErrUnsatisfiable)
+		return false, fmt.Errorf("%w: %w", ErrSubmission, policy.ErrUnsatisfiable)
 	}
 
 	var hedgeTimer *time.Timer
@@ -458,7 +661,7 @@ func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration
 	for len(inflight) > 0 {
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return false, ctx.Err()
 		case <-hedgeC:
 			// Presume every backend that has been in flight for a full
 			// hedge delay failed, and engage its spare. The slow backend
@@ -485,7 +688,7 @@ func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration
 			if r.err != nil {
 				lastErr = fmt.Errorf("%s: %w", f.backends[r.idx].cand.Name, r.err)
 				if !plan(presumedSlow) {
-					return nil, fmt.Errorf("%w: last backend error: %v", ErrSubmission, lastErr)
+					return false, fmt.Errorf("%w: last backend error: %w", ErrSubmission, lastErr)
 				}
 				continue
 			}
@@ -498,14 +701,14 @@ func (f *Frontend) submit(ctx context.Context, id uint64, lifetime time.Duration
 				sort.SliceStable(bundle.SCTs, func(a, b int) bool {
 					return launchSeq[bundle.SCTs[a].LogName] < launchSeq[bundle.SCTs[b].LogName]
 				})
-				return bundle, nil
+				return true, nil
 			}
 		}
 	}
 	if lastErr != nil {
-		return nil, fmt.Errorf("%w: last backend error: %v", ErrSubmission, lastErr)
+		return false, fmt.Errorf("%w: last backend error: %w", ErrSubmission, lastErr)
 	}
-	return nil, fmt.Errorf("%w: %w", ErrSubmission, policy.ErrUnsatisfiable)
+	return false, fmt.Errorf("%w: %w", ErrSubmission, policy.ErrUnsatisfiable)
 }
 
 func (f *Frontend) candidatesOf(indices []int) []policy.Candidate {
@@ -516,17 +719,30 @@ func (f *Frontend) candidatesOf(indices []int) []policy.Candidate {
 	return out
 }
 
+// indexOf resolves a backend name to its pool index.
+func (f *Frontend) indexOf(name string) (int, bool) {
+	for i, s := range f.backends {
+		if s.cand.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // BackendHealth is one backend's health snapshot.
 type BackendHealth struct {
 	Name             string
 	Operator         string
 	GoogleOperated   bool
 	Healthy          bool
+	Verified         bool // an SCT verifier is configured
 	ConsecutiveFails int
 	BackoffUntil     time.Time
 	Successes        uint64
 	Failures         uint64
 	Hedged           uint64
+	BadSCTs          uint64
+	Weight           int // committed routing weight (lower routes earlier)
 }
 
 // Health reports every backend's health, in configuration order.
@@ -540,13 +756,89 @@ func (f *Frontend) Health() []BackendHealth {
 			Operator:         s.cand.Operator,
 			GoogleOperated:   s.cand.GoogleOperated,
 			Healthy:          !now.Before(s.backoffUntil),
+			Verified:         s.verifier != nil,
 			ConsecutiveFails: s.consecFails,
 			BackoffUntil:     s.backoffUntil,
 			Successes:        s.successes,
 			Failures:         s.failures,
 			Hedged:           s.hedged,
+			BadSCTs:          s.badSCTs,
+			Weight:           s.weight,
 		}
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// latencyBucketUs quantizes a latency EWMA (microseconds) into coarse
+// deterministic buckets: 0 below 1ms, then one bucket per power of 4
+// (1–4ms → 1, 4–16ms → 2, ...), capped at 8. The coarseness is the
+// point — only sustained, order-of-magnitude latency shifts move a
+// backend's routing weight, so scheduling jitter cannot perturb
+// routing between commits.
+func latencyBucketUs(ewmaUs int64) int {
+	bucket := 0
+	for threshold := int64(1000); ewmaUs >= threshold && bucket < 8; threshold *= 4 {
+		bucket++
+	}
+	return bucket
+}
+
+// CommitWeights folds each backend's accumulated load observations into
+// its routing weight and resets the epoch. Weights change only here —
+// at explicit commit points the caller controls (the ecosystem replay
+// commits at its end-of-day barrier; cmd/ctfront on a timer) — so
+// routing stays a pure function of committed state between commits and
+// replays remain byte-identical at any parallelism.
+//
+// The weight is the sum of two coarse buckets, lower preferred:
+//
+//   - latency: the per-backend success-latency EWMA, power-of-4 buckets
+//     (latencyBucketUs). A backend an order of magnitude slower than
+//     the pool drifts to the back of every ranking.
+//   - merge stall: a backend that accepted submissions this epoch but
+//     whose observed tree size did not grow (it is not merging —
+//     the paper's MMD concern) is penalized +2. Growth is observed via
+//     an optional TreeSize method on the backend (LocalLog forwards
+//     the wrapped log's); backends without one are judged on latency
+//     alone.
+func (f *Frontend) CommitWeights() {
+	for _, s := range f.backends {
+		size, haveSize := observeTreeSize(s.spec.Backend)
+		s.mu.Lock()
+		w := latencyBucketUs(s.ewmaLatencyUs)
+		if haveSize && s.haveTreeSize && s.epochSuccesses > 0 && size <= s.lastTreeSize {
+			w += 2
+		}
+		s.weight = w
+		s.epochSuccesses = 0
+		if haveSize {
+			s.lastTreeSize = size
+			s.haveTreeSize = true
+		}
+		s.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.weightCommits++
+	f.mu.Unlock()
+}
+
+// WeightCommits reports how many CommitWeights calls have run — the
+// equivalence tests assert load-aware routing was actually engaged.
+func (f *Frontend) WeightCommits() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.weightCommits
+}
+
+// observeTreeSize asks a backend for its current tree size, via either
+// the (uint64, bool) form LocalLog exposes or a plain uint64 TreeSize.
+func observeTreeSize(b Backend) (uint64, bool) {
+	switch t := b.(type) {
+	case interface{ TreeSize() (uint64, bool) }:
+		return t.TreeSize()
+	case interface{ TreeSize() uint64 }:
+		return t.TreeSize(), true
+	}
+	return 0, false
 }

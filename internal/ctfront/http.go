@@ -1,12 +1,17 @@
 package ctfront
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"ctrise/internal/ctlog"
+	"ctrise/internal/drain"
 	"ctrise/internal/policy"
 )
 
@@ -40,22 +45,97 @@ type BackendHealthResponse struct {
 	Operator         string `json:"operator"`
 	GoogleOperated   bool   `json:"google_operated"`
 	Healthy          bool   `json:"healthy"`
+	Verified         bool   `json:"verified"`
 	ConsecutiveFails int    `json:"consecutive_fails"`
 	BackoffUntil     string `json:"backoff_until,omitempty"`
 	Successes        uint64 `json:"successes"`
 	Failures         uint64 `json:"failures"`
 	Hedged           uint64 `json:"hedged"`
+	BadSCTs          uint64 `json:"bad_scts"`
+	Weight           int    `json:"weight"`
 }
 
-// Handler returns an http.Handler serving the frontend API:
-// POST /ctfront/v1/add-chain, POST /ctfront/v1/add-pre-chain,
-// GET /ctfront/v1/health.
+// Handler returns the frontend's HTTP surface, built once per Frontend:
+// POST /ctfront/v1/add-chain and /ctfront/v1/add-pre-chain (admission-
+// controlled), GET /ctfront/v1/health, and GET /metrics (Prometheus
+// text, internal/auditor's format). The whole chain sits behind a drain
+// gate: after BeginDrain, new submissions get 503 + Retry-After while
+// in-flight ones finish, and the reads stay available so a rolling
+// restart can be watched from outside.
 func (f *Frontend) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ctfront/v1/add-chain", f.handleAddChain)
-	mux.HandleFunc("POST /ctfront/v1/add-pre-chain", f.handleAddPreChain)
-	mux.HandleFunc("GET /ctfront/v1/health", f.handleHealth)
-	return mux
+	f.handlerOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /ctfront/v1/add-chain", f.withAdmission(f.handleAddChain))
+		mux.HandleFunc("POST /ctfront/v1/add-pre-chain", f.withAdmission(f.handleAddPreChain))
+		mux.HandleFunc("GET /ctfront/v1/health", f.handleHealth)
+		mux.HandleFunc("GET /metrics", f.handleMetrics)
+		f.gate = drain.NewGate(mux, nil, f.retryAfter())
+		f.handler = f.gate
+	})
+	return f.handler
+}
+
+// drainGate returns the gate guarding the HTTP surface, building the
+// chain if no Handler call has yet.
+func (f *Frontend) drainGate() *drain.Gate {
+	f.Handler()
+	return f.gate
+}
+
+// BeginDrain stops admitting new HTTP submissions: they are refused
+// with 503 + Retry-After (a failover signal, not an error) while
+// requests already executing run to completion. Reads stay served.
+// Idempotent; in-process submissions (AddChain/AddPreChain callers)
+// are not gated.
+func (f *Frontend) BeginDrain() { f.drainGate().BeginDrain() }
+
+// DrainWait blocks until every HTTP submission admitted before
+// BeginDrain has finished, or ctx expires.
+func (f *Frontend) DrainWait(ctx context.Context) error { return f.drainGate().Wait(ctx) }
+
+// retryAfter is the backoff hint attached to every shed, throttled, or
+// drained response.
+func (f *Frontend) retryAfter() time.Duration {
+	if f.cfg.RetryAfter > 0 {
+		return f.cfg.RetryAfter
+	}
+	return time.Second
+}
+
+// withAdmission applies the admission controller to one submission
+// handler: rate limits answer 429, capacity shedding 503, both with
+// Retry-After so a well-behaved client backs off exactly as long as
+// the frontend asks.
+func (f *Frontend) withAdmission(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v, release := f.admission.admit(clientHost(r))
+		switch v {
+		case admitOK:
+			defer release()
+			h(w, r)
+		case shedInflight:
+			f.refuse(w, http.StatusServiceUnavailable, "ctfront: submission capacity exhausted, retry later")
+		case shedGlobalRate:
+			f.refuse(w, http.StatusTooManyRequests, "ctfront: global rate limit exceeded")
+		case shedClientRate:
+			f.refuse(w, http.StatusTooManyRequests, "ctfront: client rate limit exceeded")
+		}
+	}
+}
+
+// refuse sheds a request with the frontend's Retry-After hint.
+func (f *Frontend) refuse(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(drain.RetryAfterSeconds(f.retryAfter())))
+	http.Error(w, msg, code)
+}
+
+// clientHost extracts the per-client rate-limit key: the remote host
+// without the ephemeral port.
+func clientHost(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }
 
 func (f *Frontend) handleAddChain(w http.ResponseWriter, r *http.Request) {
@@ -71,7 +151,7 @@ func (f *Frontend) handleAddChain(w http.ResponseWriter, r *http.Request) {
 	}
 	bundle, err := f.AddChain(r.Context(), cert)
 	if err != nil {
-		httpError(w, err)
+		f.httpError(w, err)
 		return
 	}
 	writeBundle(w, bundle)
@@ -97,7 +177,7 @@ func (f *Frontend) handleAddPreChain(w http.ResponseWriter, r *http.Request) {
 	copy(ikh[:], ikhBytes)
 	bundle, err := f.AddPreChain(r.Context(), ikh, tbs)
 	if err != nil {
-		httpError(w, err)
+		f.httpError(w, err)
 		return
 	}
 	writeBundle(w, bundle)
@@ -112,10 +192,13 @@ func (f *Frontend) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			Operator:         h.Operator,
 			GoogleOperated:   h.GoogleOperated,
 			Healthy:          h.Healthy,
+			Verified:         h.Verified,
 			ConsecutiveFails: h.ConsecutiveFails,
 			Successes:        h.Successes,
 			Failures:         h.Failures,
 			Hedged:           h.Hedged,
+			BadSCTs:          h.BadSCTs,
+			Weight:           h.Weight,
 		}
 		if !h.BackoffUntil.IsZero() {
 			r.BackoffUntil = h.BackoffUntil.UTC().Format("2006-01-02T15:04:05.000Z07:00")
@@ -130,7 +213,7 @@ func writeBundle(w http.ResponseWriter, bundle *Bundle) {
 	for _, s := range bundle.SCTs {
 		sig, err := s.SCT.Signature.Serialize()
 		if err != nil {
-			httpError(w, err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		resp.SCTs = append(resp.SCTs, BundleSCTResponse{
@@ -156,11 +239,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, err error) {
+func (f *Frontend) httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, policy.ErrUnsatisfiable), errors.Is(err, ErrSubmission):
 		// The pool cannot currently produce a compliant set — a capacity
-		// condition, not a caller error.
+		// condition, not a caller error. Retry-After tells well-behaved
+		// clients when to try again instead of hot-looping.
+		w.Header().Set("Retry-After", strconv.Itoa(drain.RetryAfterSeconds(f.retryAfter())))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)

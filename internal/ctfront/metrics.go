@@ -1,0 +1,77 @@
+package ctfront
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics serves the frontend's counters in the Prometheus text
+// exposition format — the same format internal/auditor exports — so one
+// scrape config covers the whole ecosystem: per-backend routing and
+// health state, SCT verification failures, and the admission
+// controller's shed counters (every shed reason emitted, zeros
+// included, for stable series).
+func (f *Frontend) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	f.writeMetrics(&b)
+	w.Write([]byte(b.String()))
+}
+
+// writeMetrics renders every metric family with its HELP/TYPE header.
+func (f *Frontend) writeMetrics(b *strings.Builder) {
+	health := f.Health()
+	type family struct {
+		name, help, typ string
+		value           func(h BackendHealth) int64
+	}
+	families := []family{
+		{"ctfront_backend_successes_total", "Verified SCTs collected per backend.", "counter",
+			func(h BackendHealth) int64 { return int64(h.Successes) }},
+		{"ctfront_backend_failures_total", "Failed submissions per backend (transport errors, timeouts, bad SCTs).", "counter",
+			func(h BackendHealth) int64 { return int64(h.Failures) }},
+		{"ctfront_backend_bad_scts_total", "SCTs rejected by signature verification per backend.", "counter",
+			func(h BackendHealth) int64 { return int64(h.BadSCTs) }},
+		{"ctfront_backend_hedged_total", "Times a backend was presumed slow and hedged against.", "counter",
+			func(h BackendHealth) int64 { return int64(h.Hedged) }},
+		{"ctfront_backend_healthy", "Whether the backend is outside its failure backoff (1 = plannable).", "gauge",
+			func(h BackendHealth) int64 { return bool01(h.Healthy) }},
+		{"ctfront_backend_verified", "Whether an SCT verifier is configured for the backend.", "gauge",
+			func(h BackendHealth) int64 { return bool01(h.Verified) }},
+		{"ctfront_backend_weight", "Committed routing weight (lower routes earlier).", "gauge",
+			func(h BackendHealth) int64 { return int64(h.Weight) }},
+		{"ctfront_backend_consecutive_fails", "Consecutive failures driving the backend's current backoff.", "gauge",
+			func(h BackendHealth) int64 { return int64(h.ConsecutiveFails) }},
+	}
+	for _, fam := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)
+		for _, h := range health {
+			fmt.Fprintf(b, "%s{backend=%q} %d\n", fam.name, h.Name, fam.value(h))
+		}
+	}
+
+	stats := f.AdmissionStats()
+	fmt.Fprintf(b, "# HELP ctfront_admitted_total HTTP submissions admitted to the fan-out engine.\n# TYPE ctfront_admitted_total counter\n")
+	fmt.Fprintf(b, "ctfront_admitted_total %d\n", stats.Admitted)
+	fmt.Fprintf(b, "# HELP ctfront_shed_total HTTP submissions refused, by admission mechanism.\n# TYPE ctfront_shed_total counter\n")
+	fmt.Fprintf(b, "ctfront_shed_total{reason=\"inflight\"} %d\n", stats.ShedInflight)
+	fmt.Fprintf(b, "ctfront_shed_total{reason=\"rate_global\"} %d\n", stats.ShedGlobalRate)
+	fmt.Fprintf(b, "ctfront_shed_total{reason=\"rate_client\"} %d\n", stats.ShedClientRate)
+	fmt.Fprintf(b, "ctfront_shed_total{reason=\"drain\"} %d\n", stats.ShedDraining)
+	if stats.Inflight >= 0 {
+		fmt.Fprintf(b, "# HELP ctfront_inflight HTTP submissions currently executing.\n# TYPE ctfront_inflight gauge\n")
+		fmt.Fprintf(b, "ctfront_inflight %d\n", stats.Inflight)
+	}
+	fmt.Fprintf(b, "# HELP ctfront_draining Whether the drain gate is refusing new submissions.\n# TYPE ctfront_draining gauge\n")
+	fmt.Fprintf(b, "ctfront_draining %d\n", bool01(f.drainGate().Draining()))
+	fmt.Fprintf(b, "# HELP ctfront_weight_commits_total CommitWeights runs folding load observations into routing.\n# TYPE ctfront_weight_commits_total counter\n")
+	fmt.Fprintf(b, "ctfront_weight_commits_total %d\n", f.WeightCommits())
+}
+
+func bool01(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}

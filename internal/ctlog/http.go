@@ -84,6 +84,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		// The capacity limiter refilled within a second by construction
+		// (tokens accrue continuously), so hint the shortest backoff the
+		// header can express.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -94,7 +98,9 @@ func httpError(w http.ResponseWriter, err error) {
 		// The durable store failed; the condition is sticky until the
 		// operator restarts the log, but 503 (not 500) tells well-behaved
 		// submitters this is the log's capacity to accept, not a protocol
-		// error on their side.
+		// error on their side — and Retry-After tells them to probe again
+		// rather than hot-loop while the operator intervenes.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,146 @@
+// Package drain implements the graceful-drain protocol shared by the
+// repo's HTTP servers (cmd/ctlogd, cmd/ctfront): on SIGTERM a server
+// stops admitting new mutating work with 503 + Retry-After — a signal
+// well-behaved CT submitters turn into failover, not an error — while
+// the requests already in flight run to completion. Only once the gate
+// reports idle does the listener shut down, so a rolling restart never
+// drops an acknowledged submission mid-handshake.
+package drain
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Gate wraps an http.Handler with the drain protocol. Before BeginDrain
+// it forwards every request, counting the gated ones (mutating methods
+// by default); after BeginDrain gated requests are refused with
+// 503 + Retry-After while the in-flight ones finish. The zero Gate is
+// not usable; construct with NewGate.
+type Gate struct {
+	next http.Handler
+	// gated decides which requests the drain refuses; reads (health,
+	// metrics, get-sth) stay available throughout so operators and
+	// monitors can watch the drain progress.
+	gated func(*http.Request) bool
+	// retryAfter is the hint sent with drain refusals.
+	retryAfter time.Duration
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{} // closed when draining and inflight hits 0
+	refused  uint64
+}
+
+// NewGate wraps next. gated selects the requests the drain refuses; nil
+// gates every non-GET/HEAD request (the ct/v1 and ctfront mutating
+// surface). retryAfter is the Retry-After hint on refusals; <= 0
+// defaults to 1s.
+func NewGate(next http.Handler, gated func(*http.Request) bool, retryAfter time.Duration) *Gate {
+	if gated == nil {
+		gated = func(r *http.Request) bool {
+			return r.Method != http.MethodGet && r.Method != http.MethodHead
+		}
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &Gate{next: next, gated: gated, retryAfter: retryAfter}
+}
+
+// ServeHTTP forwards or refuses according to the drain state.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !g.gated(r) {
+		g.next.ServeHTTP(w, r)
+		return
+	}
+	g.mu.Lock()
+	if g.draining {
+		g.refused++
+		g.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(g.retryAfter)))
+		http.Error(w, "draining: retry against another backend", http.StatusServiceUnavailable)
+		return
+	}
+	g.inflight++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.inflight--
+		if g.draining && g.inflight == 0 && g.idle != nil {
+			close(g.idle)
+			g.idle = nil
+		}
+		g.mu.Unlock()
+	}()
+	g.next.ServeHTTP(w, r)
+}
+
+// BeginDrain flips the gate: subsequent gated requests are refused with
+// 503 + Retry-After. Idempotent.
+func (g *Gate) BeginDrain() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return
+	}
+	g.draining = true
+	if g.inflight > 0 {
+		g.idle = make(chan struct{})
+	}
+}
+
+// Wait blocks until every gated request admitted before BeginDrain has
+// finished, or ctx expires. It reports nil on idle; call it after
+// BeginDrain.
+func (g *Gate) Wait(ctx context.Context) error {
+	g.mu.Lock()
+	idle := g.idle
+	g.mu.Unlock()
+	if idle == nil {
+		return nil
+	}
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (g *Gate) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// Refused reports how many gated requests the drain has turned away.
+func (g *Gate) Refused() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.refused
+}
+
+// Inflight reports the gated requests currently executing.
+func (g *Gate) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// RetryAfterSeconds renders a Retry-After hint: whole seconds, at least
+// 1 (the header has no sub-second form, and 0 would invite an immediate
+// hot-loop retry). Every 503/429 the repo's servers send carries it, so
+// well-behaved clients back off instead of hot-looping.
+func RetryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package drain
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGatePassesBeforeDrain proves the gate is transparent until
+// BeginDrain: gated and ungated requests both reach the handler.
+func TestGatePassesBeforeDrain(t *testing.T) {
+	var served int
+	g := NewGate(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served++
+	}), nil, time.Second)
+	for _, method := range []string{http.MethodGet, http.MethodPost} {
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, httptest.NewRequest(method, "/x", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s before drain: status %d", method, rec.Code)
+		}
+	}
+	if served != 2 {
+		t.Fatalf("handler saw %d requests, want 2", served)
+	}
+}
+
+// TestGateRefusesMutationsDuringDrain proves a draining gate answers
+// gated requests with 503 + Retry-After while reads pass through.
+func TestGateRefusesMutationsDuringDrain(t *testing.T) {
+	g := NewGate(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}), nil, 3*time.Second)
+	g.BeginDrain()
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/submit", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST during drain: status %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	if g.Refused() != 1 {
+		t.Fatalf("Refused = %d, want 1", g.Refused())
+	}
+
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET during drain: status %d, want 200", rec.Code)
+	}
+}
+
+// TestGateWaitsForInflight proves Wait blocks until requests admitted
+// before the drain complete, and that they complete successfully.
+func TestGateWaitsForInflight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	g := NewGate(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	}), nil, time.Second)
+
+	rec := httptest.NewRecorder()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/submit", nil))
+	}()
+	<-entered
+	g.BeginDrain()
+	if g.Inflight() != 1 {
+		t.Fatalf("Inflight = %d, want 1", g.Inflight())
+	}
+
+	// Wait must not return while the request is still executing.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Wait(shortCtx); err == nil {
+		t.Fatal("Wait returned before the in-flight request finished")
+	}
+
+	close(release)
+	ctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := g.Wait(ctx); err != nil {
+		t.Fatalf("Wait after release: %v", err)
+	}
+	wg.Wait()
+	if rec.Code != http.StatusOK || rec.Body.String() != "done" {
+		t.Fatalf("in-flight request got %d %q, want 200 \"done\"", rec.Code, rec.Body.String())
+	}
+}
+
+// TestGateWaitIdleReturnsImmediately proves Wait with nothing in flight
+// is a no-op, and BeginDrain is idempotent.
+func TestGateWaitIdleReturnsImmediately(t *testing.T) {
+	g := NewGate(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}), nil, time.Second)
+	g.BeginDrain()
+	g.BeginDrain()
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait on idle gate: %v", err)
+	}
+	if !g.Draining() {
+		t.Fatal("Draining = false after BeginDrain")
+	}
+}

@@ -315,13 +315,20 @@ func (w *World) RunTimeline(onDay func(day time.Time)) error {
 // finishDay advances the clock to the day boundary, sequences and
 // publishes every log's STH, and notifies the observer. Publishing
 // every log every day (touched or not) keeps STH timestamps advancing
-// the way the pre-pipeline replay did.
+// the way the pre-pipeline replay did. With a frontend in play this is
+// also its weight-commit point: the day's submissions have all landed
+// and every STH is published, so the load observations folded into
+// routing weights here are identical at any parallelism — the next
+// day's routing stays a deterministic function of committed state.
 func (w *World) finishDay(day time.Time, onDay func(day time.Time)) error {
 	w.Clock.Set(day.Add(24 * time.Hour))
 	for _, name := range w.LogNames {
 		if _, err := w.Logs[name].PublishSTH(); err != nil {
 			return err
 		}
+	}
+	if w.Frontend != nil {
+		w.Frontend.CommitWeights()
 	}
 	if onDay != nil {
 		onDay(day)

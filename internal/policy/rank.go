@@ -1,0 +1,38 @@
+package policy
+
+import "sort"
+
+// Ranked is one candidate in a weighted preference ordering, as a
+// multi-log frontend builds it: a coarse committed load weight (lower
+// is preferred — a backend observed to be slow or stalled carries a
+// higher weight), a deterministic per-submission key spreading equal-
+// weight candidates, and the candidate name as the final total-order
+// tie-break. Everything in the triple is derived from committed state
+// and the submission identity — never from wall clock or scheduling —
+// so the resulting order is a pure function and replays route
+// identically at any concurrency.
+type Ranked struct {
+	Weight int
+	Key    uint64
+	Name   string
+}
+
+// Order returns the indices of rs in routing-preference order: weight
+// ascending, then key ascending, then name. The input is not modified.
+func Order(rs []Ranked) []int {
+	out := make([]int, len(rs))
+	for i := range out {
+		out[i] = i
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := rs[out[a]], rs[out[b]]
+		if ra.Weight != rb.Weight {
+			return ra.Weight < rb.Weight
+		}
+		if ra.Key != rb.Key {
+			return ra.Key < rb.Key
+		}
+		return ra.Name < rb.Name
+	})
+	return out
+}

@@ -1,0 +1,49 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestOrderByWeightThenKeyThenName pins the total order: weight
+// dominates, key breaks weight ties, name breaks key ties.
+func TestOrderByWeightThenKeyThenName(t *testing.T) {
+	rs := []Ranked{
+		{Weight: 2, Key: 1, Name: "d"},
+		{Weight: 0, Key: 9, Name: "c"},
+		{Weight: 0, Key: 3, Name: "b"},
+		{Weight: 0, Key: 3, Name: "a"},
+	}
+	got := Order(rs)
+	want := []int{3, 2, 1, 0} // a (key 3), b (key 3), c (key 9), d (weight 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Order = %v, want %v", got, want)
+	}
+}
+
+// TestOrderIsPure proves Order neither mutates its input nor depends on
+// anything but it: repeated calls agree and the slice is untouched.
+func TestOrderIsPure(t *testing.T) {
+	rs := []Ranked{
+		{Weight: 1, Key: 7, Name: "x"},
+		{Weight: 0, Key: 2, Name: "y"},
+		{Weight: 1, Key: 1, Name: "z"},
+	}
+	snapshot := append([]Ranked(nil), rs...)
+	first := Order(rs)
+	for i := 0; i < 10; i++ {
+		if got := Order(rs); !reflect.DeepEqual(got, first) {
+			t.Fatalf("call %d: Order = %v, want %v", i, got, first)
+		}
+	}
+	if !reflect.DeepEqual(rs, snapshot) {
+		t.Fatalf("Order mutated its input: %v", rs)
+	}
+}
+
+// TestOrderEmpty covers the empty pool.
+func TestOrderEmpty(t *testing.T) {
+	if got := Order(nil); len(got) != 0 {
+		t.Fatalf("Order(nil) = %v, want empty", got)
+	}
+}

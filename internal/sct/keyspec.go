@@ -1,0 +1,60 @@
+package sct
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseKeySpec resolves a KEYSPEC — the shared command-line syntax
+// naming a log's public key — to an SCT/STH verifier. cmd/ctmon's -log
+// and cmd/ctfront's -backend flags both use it, so any tool that audits
+// or bundles a log's signatures names its key material the same way:
+//
+//	fast             test-codec verifier keyed by the log name (logs
+//	                 signed with the deterministic FastSigner harness)
+//	pubkey:BASE64    base64 standard-encoded DER PKIX ECDSA P-256 key
+//	keyfile:PATH     file containing the DER key (e.g. written by
+//	                 ctlogd's key bootstrap)
+func ParseKeySpec(name, spec string) (SCTVerifier, error) {
+	switch {
+	case spec == "fast":
+		return NewFastVerifier(name), nil
+	case strings.HasPrefix(spec, "pubkey:"):
+		der, err := base64.StdEncoding.DecodeString(strings.TrimPrefix(spec, "pubkey:"))
+		if err != nil {
+			return nil, fmt.Errorf("pubkey: %w", err)
+		}
+		return verifierFromDER(der)
+	case strings.HasPrefix(spec, "keyfile:"):
+		der, err := os.ReadFile(strings.TrimPrefix(spec, "keyfile:"))
+		if err != nil {
+			return nil, err
+		}
+		return verifierFromDER(der)
+	default:
+		return nil, fmt.Errorf("unknown KEYSPEC %q (want fast, pubkey:BASE64, or keyfile:PATH)", spec)
+	}
+}
+
+// verifierFromDER builds a verifier from a DER ECDSA key: PKIX public
+// (the published form) or SEC1 private (ctlogd's key.der, for dev
+// setups verifying a local log from its own key material).
+func verifierFromDER(der []byte) (SCTVerifier, error) {
+	if pub, err := x509.ParsePKIXPublicKey(der); err == nil {
+		ec, ok := pub.(*ecdsa.PublicKey)
+		if !ok {
+			return nil, fmt.Errorf("log key is %T, want *ecdsa.PublicKey", pub)
+		}
+		return NewVerifier(ec), nil
+	}
+	priv, err := x509.ParseECPrivateKey(der)
+	if err != nil {
+		return nil, errors.New("key is neither DER PKIX public nor DER EC private")
+	}
+	return NewVerifier(&priv.PublicKey), nil
+}
