@@ -49,6 +49,7 @@ func BenchmarkFigure1a(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h, err := w.HarvestLogs(ecosystem.Date(2018, 4, 1), ecosystem.Date(2018, 5, 1))
@@ -69,6 +70,7 @@ func BenchmarkFigure1b(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if out := r.RenderFigure1b(); out == "" {
@@ -84,6 +86,7 @@ func BenchmarkFigure1c(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if out := r.RenderFigure1c(); out == "" {
@@ -157,6 +160,7 @@ func BenchmarkSection33(b *testing.B) {
 	}
 	for _, lvl := range parallelismLevels {
 		b.Run(lvl.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sites, err := scanner.BuildPopulation(w, scanner.PopConfig{
 					Seed: 2051, NumSites: 1600, Parallelism: lvl.p,
@@ -190,6 +194,7 @@ func BenchmarkSection33(b *testing.B) {
 func BenchmarkTimelineReplay(b *testing.B) {
 	for _, lvl := range parallelismLevels {
 		b.Run(lvl.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				w, err := ecosystem.New(ecosystem.Config{
 					Seed:          2018,
@@ -216,6 +221,7 @@ func BenchmarkTimelineReplay(b *testing.B) {
 // BenchmarkSection34 regenerates the invalid-embedded-SCT findings.
 func BenchmarkSection34(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := s.Scan()
@@ -236,6 +242,7 @@ func BenchmarkTable2(b *testing.B) {
 		b.Fatal(err)
 	}
 	list := psl.Default()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := subenum.RunCensusSet(h.NameSet, list, 0)
@@ -249,6 +256,7 @@ func BenchmarkTable2(b *testing.B) {
 // (construction + massdns-style verification + Sonar comparison).
 func BenchmarkSection43(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := s.Section4()
@@ -264,6 +272,7 @@ func BenchmarkSection43(b *testing.B) {
 // BenchmarkTable3 regenerates the phishing-domain table.
 func BenchmarkTable3(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := s.Table3()
@@ -279,6 +288,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 regenerates the honeypot experiment: deployment, CT
 // leak, attacker population, per-subdomain aggregation.
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := honeypot.RunExperiment(2018)
 		if err != nil {
@@ -388,6 +398,7 @@ func BenchmarkAblationLabelCensus(b *testing.B) {
 func BenchmarkAblationStreamVsBatch(b *testing.B) {
 	run := func(b *testing.B, mode honeypot.AgentMode) time.Duration {
 		b.Helper()
+		b.ReportAllocs()
 		var total time.Duration
 		var rows int
 		for i := 0; i < b.N; i++ {

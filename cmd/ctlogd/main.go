@@ -5,7 +5,7 @@
 //
 //	ctlogd [-addr 127.0.0.1:8764] [-name "Dev Log"] [-capacity N]
 //	       [-sequence 1s] [-data-dir DIR] [-snapshot-every N]
-//	       [-drain-timeout 10s]
+//	       [-tile-span N] [-page-cache BYTES] [-drain-timeout 10s]
 //
 // The ct/v1 endpoints (add-chain, add-pre-chain, get-sth,
 // get-sth-consistency, get-proof-by-hash, get-entries) are served under
@@ -21,7 +21,13 @@
 // accepted submission is fsynced to a write-ahead log before its SCT is
 // returned, and sequencing/publication checkpoints are fsynced so a
 // killed and restarted ctlogd serves the same STH and entries it served
-// before the crash. On SIGINT/SIGTERM the server drains gracefully:
+// before the crash. Durable logs keep RAM and WAL bounded at any tree
+// size: published entries are sealed into immutable tile files of
+// -tile-span entries each (the WAL is truncated behind the seal) and
+// served back through an LRU page cache of at most -page-cache bytes.
+// The span is a property of the on-disk state — the first start fixes
+// it, later starts with a different -tile-span keep the stored value.
+// On SIGINT/SIGTERM the server drains gracefully:
 // new submissions are refused with 503 + Retry-After (a failover
 // signal the multi-log frontend rides out, not a dropped connection)
 // while in-flight ones finish — bounded by -drain-timeout — then the
@@ -62,6 +68,8 @@ func main() {
 	interval := flag.Duration("sequence", time.Second, "sequencer batch interval (integrate staged entries + publish STH; must be positive)")
 	dataDir := flag.String("data-dir", "", "durable state directory (WAL + snapshots + signing key); empty = in-memory")
 	snapshotEvery := flag.Int("snapshot-every", 0, "full snapshot after this many newly sequenced entries (0 = default 4096, negative = only at shutdown); requires -data-dir")
+	tileSpan := flag.Int("tile-span", 0, "entries per sealed storage tile, power of two ≥ 2 (0 = default 1024); fixed at first start, requires -data-dir")
+	pageCache := flag.Int64("page-cache", 0, "tile page-cache budget in bytes (0 = default 64 MiB, negative = uncached reads); requires -data-dir")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight submissions on shutdown (new ones get 503 + Retry-After immediately)")
 	flag.Parse()
 	if *interval <= 0 {
@@ -73,6 +81,8 @@ func main() {
 		Operator:          *operator,
 		CapacityPerSecond: *capacity,
 		SnapshotEvery:     *snapshotEvery,
+		TileSpan:          *tileSpan,
+		PageCacheBytes:    *pageCache,
 	}
 	var l *ctlog.Log
 	if *dataDir != "" {

@@ -19,6 +19,21 @@ import (
 // closed and reopened from its data directory and must serve the same
 // final STH and entry bytes, proving the persisted state is the state.
 func TestRunTimelineDurableEquivalence(t *testing.T) {
+	testTimelineEquivalence(t, 0, []int{1, 4, 13})
+}
+
+// TestRunTimelineTiledEquivalence re-runs the durable replay with a
+// deliberately small sealed-tile span, so every log crosses many seal
+// boundaries mid-timeline: entries migrate from the WAL-backed resident
+// tail into immutable tile files (and the WAL is truncated behind them)
+// while the replay is still appending. The trajectory and the
+// reopened-from-tiles read surface must stay byte-identical to the
+// in-memory run — sealing may move bytes, never change them.
+func TestRunTimelineTiledEquivalence(t *testing.T) {
+	testTimelineEquivalence(t, 32, []int{1, 13})
+}
+
+func testTimelineEquivalence(t *testing.T, tileSpan int, parallelisms []int) {
 	type sthState struct {
 		Size uint64
 		Root [32]byte
@@ -32,6 +47,7 @@ func TestRunTimelineDurableEquivalence(t *testing.T) {
 			NumDomains:    1200,
 			Parallelism:   p,
 			DataDir:       dataDir,
+			TileSpan:      tileSpan,
 		}
 	}
 	build := func(p int, dataDir string) (*ecosystem.World, map[string][]sthState, []time.Time) {
@@ -65,7 +81,7 @@ func TestRunTimelineDurableEquivalence(t *testing.T) {
 		t.Fatal("in-memory replay produced no entries")
 	}
 
-	for _, p := range []int{1, 4, 13} {
+	for _, p := range parallelisms {
 		dataDir := t.TempDir()
 		w, gotTraj, gotDays := build(p, dataDir)
 		if !reflect.DeepEqual(wantDays, gotDays) {
@@ -84,6 +100,7 @@ func TestRunTimelineDurableEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("durable p=%d: reopen: %v", p, err)
 		}
+		var sealedLogs int
 		for _, name := range reopened.LogNames {
 			memLog, reLog := memWorld.Logs[name], reopened.Logs[name]
 			memSTH, reSTH := memLog.STH(), reLog.STH()
@@ -92,6 +109,9 @@ func TestRunTimelineDurableEquivalence(t *testing.T) {
 			}
 			if reLog.PendingCount() != 0 {
 				t.Fatalf("durable p=%d: %s reopened with %d staged entries", p, name, reLog.PendingCount())
+			}
+			if reLog.TiledThrough() > 0 {
+				sealedLogs++
 			}
 			size := memSTH.TreeHead.TreeSize
 			if size == 0 {
@@ -111,6 +131,9 @@ func TestRunTimelineDurableEquivalence(t *testing.T) {
 					t.Fatalf("durable p=%d: %s entry %d differs after reopen", p, name, idx)
 				}
 			}
+		}
+		if tileSpan > 0 && sealedLogs == 0 {
+			t.Fatalf("durable p=%d: span %d replay sealed no tiles anywhere — the tiled path was not exercised", p, tileSpan)
 		}
 		if err := reopened.Close(); err != nil {
 			t.Fatal(err)

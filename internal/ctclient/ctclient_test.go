@@ -1,12 +1,14 @@
 package ctclient
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -427,5 +429,174 @@ func TestMonitorStreamEntriesClampsOverGenerousServer(t *testing.T) {
 	}
 	if delivered != 3 || next != 3 {
 		t.Fatalf("delivered %d entries, next %d; want 3 and 3", delivered, next)
+	}
+}
+
+// A tile-backed durable log clamps get-entries pages at sealed-tile
+// boundaries, so even a generous MaxGetEntries yields short pages over
+// HTTP. StreamEntries must absorb those short pages gap-free at any
+// client batch size, and a monitor that stops mid-stream must resume at
+// the returned index with no gaps or repeats even when the log itself
+// restarts (close + reopen from tiles) underneath the same URL.
+func TestMonitorStreamEntriesOverTiledLog(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Date(2018, 4, 12, 14, 0, 0, 0, time.UTC)
+	signer := sct.NewFastSigner("tiled-stream-log")
+	open := func() *ctlog.Log {
+		l, err := ctlog.Open(dir, ctlog.Config{
+			Name:          "tiled stream log",
+			Operator:      "TestOp",
+			Signer:        signer,
+			Clock:         func() time.Time { return now },
+			TileSpan:      4,
+			MaxGetEntries: 100,
+			SnapshotEvery: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l := open()
+	defer func() { l.Close() }()
+
+	ctx := context.Background()
+	const total = 23 // 5 full span-4 tiles sealed + 3 resident tail entries
+	for i := 0; i < total; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("tiled-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Second)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	wantLeaves := make([][]byte, 0, total)
+	err := l.StreamEntries(0, total-1, func(e *ctlog.Entry) error {
+		leaf, err := e.MerkleTreeLeaf()
+		if err != nil {
+			return err
+		}
+		wantLeaves = append(wantLeaves, leaf)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The server swaps to the reopened log mid-test; the client's URL
+	// stays fixed, as it would across a real log restart.
+	var mu sync.Mutex
+	handler := l.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		h := handler
+		mu.Unlock()
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	client := New(srv.URL, l.Verifier())
+
+	// Server-side contract: a whole-log request starting in the sealed
+	// region is clamped at the first tile boundary despite the generous
+	// MaxGetEntries, and a mid-tile start clamps at the same boundary.
+	page, err := client.GetEntries(ctx, 0, total-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 4 || page[0].Index != 0 {
+		t.Fatalf("sealed-region page: %d entries from %d, want 4 from 0", len(page), page[0].Index)
+	}
+	page, err = client.GetEntries(ctx, 2, total-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0].Index != 2 {
+		t.Fatalf("mid-tile page: %d entries from %d, want 2 from 2", len(page), page[0].Index)
+	}
+
+	// Client-side contract: gap-free walks over tile-clamped pages at
+	// batch sizes below, straddling, and above the tile span.
+	for _, batch := range []uint64{1, 3, 4, 7, 100, 0} {
+		mon := NewMonitor(client)
+		mon.Batch = batch
+		var got [][]byte
+		next, err := mon.StreamEntries(ctx, 0, total-1, func(e *ctlog.Entry) error {
+			leaf, err := e.MerkleTreeLeaf()
+			if err != nil {
+				return err
+			}
+			if e.Index != uint64(len(got)) {
+				return fmt.Errorf("entry %d delivered in position %d", e.Index, len(got))
+			}
+			got = append(got, leaf)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if next != total || len(got) != total {
+			t.Fatalf("batch %d: next %d, delivered %d, want %d", batch, next, len(got), total)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], wantLeaves[i]) {
+				t.Fatalf("batch %d: leaf %d differs from the log's own stream", batch, i)
+			}
+		}
+	}
+
+	// Mid-stream restart: deliver 9 entries, pause, restart the log from
+	// its tiles, then resume from the returned index via NewMonitorAt.
+	pause := errors.New("pause for restart")
+	var got [][]byte
+	mon := NewMonitor(client)
+	mon.Batch = 7
+	next, err := mon.StreamEntries(ctx, 0, total-1, func(e *ctlog.Entry) error {
+		if len(got) == 9 {
+			return pause
+		}
+		leaf, err := e.MerkleTreeLeaf()
+		if err != nil {
+			return err
+		}
+		got = append(got, leaf)
+		return nil
+	})
+	if !errors.Is(err, pause) {
+		t.Fatalf("err = %v, want pause sentinel", err)
+	}
+	if next != 9 {
+		t.Fatalf("next = %d after 9 delivered entries, want 9", next)
+	}
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l = open()
+	mu.Lock()
+	handler = l.Handler()
+	mu.Unlock()
+
+	resumed := NewMonitorAt(client, next)
+	if err := resumed.Poll(ctx, func(e *ctlog.Entry) error {
+		leaf, err := e.MerkleTreeLeaf()
+		if err != nil {
+			return err
+		}
+		if e.Index != uint64(len(got)) {
+			return fmt.Errorf("entry %d delivered in position %d after restart", e.Index, len(got))
+		}
+		got = append(got, leaf)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total || resumed.EntriesSeen() != total-9 {
+		t.Fatalf("delivered %d entries (%d after restart), want %d total", len(got), resumed.EntriesSeen(), total)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], wantLeaves[i]) {
+			t.Fatalf("leaf %d differs across the restart", i)
+		}
 	}
 }

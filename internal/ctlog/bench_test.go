@@ -115,6 +115,7 @@ func BenchmarkLogAdd(b *testing.B) {
 	for _, sg := range signers {
 		b.Run(sg.name, func(b *testing.B) {
 			b.Run("staged", func(b *testing.B) {
+				b.ReportAllocs()
 				l, err := New(Config{Name: "bench log", Signer: sg.mk(), Clock: clock})
 				if err != nil {
 					b.Fatal(err)
@@ -136,6 +137,7 @@ func BenchmarkLogAdd(b *testing.B) {
 				}
 			})
 			b.Run("single-mutex", func(b *testing.B) {
+				b.ReportAllocs()
 				l := newMutexLog(sg.mk(), clock)
 				var next atomic.Uint64
 				b.RunParallel(func(pb *testing.PB) {
@@ -202,6 +204,7 @@ func BenchmarkLogAddDurable(b *testing.B) {
 				b.Fatal(err)
 			}
 			var next atomic.Uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
@@ -222,5 +225,102 @@ func BenchmarkLogAddDurable(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkLogReadTiled measures the sealed-region read path of a
+// tile-backed log: get-entries pages and inclusion proofs served from
+// immutable tile files. The hot variant runs with the default page-cache
+// budget, so after the first pass every tile is a RAM hit; the cold
+// variant disables the cache (PageCacheBytes < 0, pass-through), so every
+// operation re-reads and re-verifies tile bytes from the store — the
+// spread between the two is what the LRU cache buys.
+func BenchmarkLogReadTiled(b *testing.B) {
+	const (
+		span  = 256
+		total = 16384 // 64 sealed tiles, empty tail
+	)
+	clock := func() time.Time { return time.Date(2018, 4, 1, 12, 0, 0, 0, time.UTC) }
+	base := Config{
+		Name:          "bench log",
+		Signer:        sct.NewFastSigner("bench log"),
+		Clock:         clock,
+		Sync:          SyncAtSequence,
+		SnapshotEvery: -1,
+		TileSpan:      span,
+	}
+	dir := b.TempDir()
+	l, err := Open(dir, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < total; i++ {
+		if _, err := l.AddChain(benchCert(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		b.Fatal(err)
+	}
+	if got := l.TiledThrough(); got != total {
+		b.Fatalf("tiled through %d, want %d", got, total)
+	}
+	leafHashes := make([]merkle.Hash, 0, total)
+	err = l.StreamEntries(0, total-1, func(e *Entry) error {
+		h, err := e.LeafHash()
+		if err != nil {
+			return err
+		}
+		leafHashes = append(leafHashes, h)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name       string
+		cacheBytes int64
+	}{
+		{"hot", 0},   // default budget; the whole log fits
+		{"cold", -1}, // pass-through cache, every read decodes from disk
+	} {
+		cfg := base
+		cfg.PageCacheBytes = mode.cacheBytes
+		l, err := Open(dir, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size := l.TreeSize()
+		b.Run("entries-"+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				start := (uint64(i) * span) % total
+				page, err := l.GetEntries(start, start+span-1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(page) != span {
+					b.Fatalf("page of %d entries", len(page))
+				}
+			}
+		})
+		b.Run("proof-"+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A large odd stride visits tiles in a non-sequential
+				// order without repeating until all leaves are seen.
+				idx := (uint64(i) * 2654435761) % total
+				if _, _, err := l.GetProofByHash(leafHashes[idx], size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err := l.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -125,17 +125,18 @@ func newCrashOracle(t *testing.T, l *Log, sths []SignedTreeHead, accepted map[st
 	size := l.TreeSize()
 	if size > 0 {
 		// Read the sequenced (not just published) prefix via the final
-		// publish the workload ends with.
-		entries, err := l.GetEntries(0, size-1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, e := range entries {
+		// publish the workload ends with. Stream, not page: paging clamps
+		// at tile boundaries on a tiled log.
+		err := l.StreamEntries(0, size-1, func(e *Entry) error {
 			leaf, err := e.MerkleTreeLeaf()
 			if err != nil {
-				t.Fatal(err)
+				return err
 			}
 			o.leaves = append(o.leaves, leaf)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 	return o
@@ -156,18 +157,20 @@ func (o *crashOracle) checkRecovered(t *testing.T, label string, l *Log) {
 		t.Fatalf("%s: STH size %d exceeds recovered tree %d", label, sth.TreeHead.TreeSize, size)
 	}
 	if sth.TreeHead.TreeSize > 0 {
-		entries, err := l.GetEntries(0, sth.TreeHead.TreeSize-1)
-		if err != nil {
-			t.Fatalf("%s: get-entries: %v", label, err)
-		}
-		for i, e := range entries {
+		i := 0
+		err := l.StreamEntries(0, sth.TreeHead.TreeSize-1, func(e *Entry) error {
 			leaf, err := e.MerkleTreeLeaf()
 			if err != nil {
-				t.Fatal(err)
+				return err
 			}
 			if !bytes.Equal(leaf, o.leaves[i]) {
-				t.Fatalf("%s: entry %d is not a prefix of the full run", label, i)
+				return fmt.Errorf("entry %d is not a prefix of the full run", i)
 			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
 		}
 	}
 	// Whatever is pending must be a submission the full run accepted.
@@ -178,11 +181,12 @@ func (o *crashOracle) checkRecovered(t *testing.T, label string, l *Log) {
 
 // buildCrashImage runs the workload in a scratch dir with Close skipped
 // (files as the OS saw them mid-run, no final snapshot) and returns the
-// WAL image, the oracle, and the optional snapshot image.
-func buildCrashImage(t *testing.T, snapshotEvery int) (wal []byte, snap []byte, oracle *crashOracle) {
+// WAL image, the oracle, the optional snapshot image, and any sealed
+// tile files (relative name -> contents).
+func buildCrashImage(t *testing.T, cfg Config) (wal []byte, snap []byte, tiles map[string][]byte, oracle *crashOracle) {
 	t.Helper()
 	dir := t.TempDir()
-	l, clk := newDurableLog(t, dir, Config{SnapshotEvery: snapshotEvery})
+	l, clk := newDurableLog(t, dir, cfg)
 	sths, accepted := crashWorkload(t, l, clk)
 	oracle = newCrashOracle(t, l, sths, accepted)
 	// Simulate the kill: abandon the log without Close. Same-process
@@ -194,11 +198,21 @@ func buildCrashImage(t *testing.T, snapshotEvery int) (wal []byte, snap []byte, 
 	if snapData, err := os.ReadFile(filepath.Join(dir, storage.SnapshotName)); err == nil {
 		snap = snapData
 	}
-	return wal, snap, oracle
+	tiles = map[string][]byte{}
+	if names, err := os.ReadDir(filepath.Join(dir, storage.TilesDirName)); err == nil {
+		for _, de := range names {
+			data, err := os.ReadFile(filepath.Join(dir, storage.TilesDirName, de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tiles[de.Name()] = data
+		}
+	}
+	return wal, snap, tiles, oracle
 }
 
 // openCrashed opens a log over the given file images.
-func openCrashed(t *testing.T, wal, snap []byte) (*Log, error) {
+func openCrashed(t *testing.T, wal, snap []byte, tiles map[string][]byte) (*Log, error) {
 	t.Helper()
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, storage.WALName), wal, 0o644); err != nil {
@@ -207,6 +221,16 @@ func openCrashed(t *testing.T, wal, snap []byte) (*Log, error) {
 	if snap != nil {
 		if err := os.WriteFile(filepath.Join(dir, storage.SnapshotName), snap, 0o644); err != nil {
 			t.Fatal(err)
+		}
+	}
+	if len(tiles) > 0 {
+		if err := os.MkdirAll(filepath.Join(dir, storage.TilesDirName), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range tiles {
+			if err := os.WriteFile(filepath.Join(dir, storage.TilesDirName, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	clk := newClock()
@@ -224,28 +248,34 @@ func openCrashed(t *testing.T, wal, snap []byte) (*Log, error) {
 // (full replay) and with a mid-run snapshot plus tail.
 func TestCrashRecoveryAtEveryByteOffset(t *testing.T) {
 	cases := []struct {
-		name          string
-		snapshotEvery int
-		withSnap      bool
+		name     string
+		cfg      Config
+		withSnap bool
 	}{
-		{"walOnly", -1, false},
+		{"walOnly", Config{SnapshotEvery: -1}, false},
 		// SnapshotEvery 7 lands the only snapshot mid-run (cursor at
 		// entry 9 of 15, real WAL tail after it): cuts above the cursor
 		// exercise snapshot+tail replay, cuts below exercise the
 		// adopt-snapshot path (WAL prefix ends under the cursor).
-		{"snapshotPlusTail", 7, true},
+		{"snapshotPlusTail", Config{SnapshotEvery: 7}, true},
+		// Span 4 forces several seal+truncate cycles mid-workload: the
+		// final WAL is a short post-compaction tail, the snapshot carries
+		// tile roots, and most of the tree lives in tile files. Every cut
+		// of that WAL must recover through the tiles (including cuts below
+		// the seal's re-anchored cursor, which adopt the snapshot).
+		{"tiledSpan4", Config{SnapshotEvery: -1, TileSpan: 4}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			wal, snap, oracle := buildCrashImage(t, tc.snapshotEvery)
+			wal, snap, tiles, oracle := buildCrashImage(t, tc.cfg)
 			if tc.withSnap && snap == nil {
-				t.Fatal("workload produced no snapshot; lower SnapshotEvery")
+				t.Fatal("workload produced no snapshot")
 			}
 			if !tc.withSnap {
 				snap = nil
 			}
 			for cut := 0; cut <= len(wal); cut++ {
-				l, err := openCrashed(t, wal[:cut], snap)
+				l, err := openCrashed(t, wal[:cut], snap, tiles)
 				if err != nil {
 					// Loud failure is acceptable only for structural
 					// impossibilities; a plain truncation must recover
@@ -266,30 +296,49 @@ func TestCrashRecoveryAtEveryByteOffset(t *testing.T) {
 // WAL image (one at a time) and requires recovery to either fail loudly
 // or land prefix-consistent — never serve a diverged STH.
 func TestCrashRecoveryWithByteCorruption(t *testing.T) {
-	wal, _, oracle := buildCrashImage(t, -1)
-	mut := make([]byte, len(wal))
-	for i := 0; i < len(wal); i++ {
-		copy(mut, wal)
-		mut[i] ^= 0xFF
-		l, err := openCrashed(t, mut, nil)
-		if err != nil {
-			continue // loud failure: acceptable
+	t.Run("walOnly", func(t *testing.T) {
+		wal, _, _, oracle := buildCrashImage(t, Config{SnapshotEvery: -1})
+		mut := make([]byte, len(wal))
+		for i := 0; i < len(wal); i++ {
+			copy(mut, wal)
+			mut[i] ^= 0xFF
+			l, err := openCrashed(t, mut, nil, nil)
+			if err != nil {
+				continue // loud failure: acceptable
+			}
+			oracle.checkRecovered(t, fmt.Sprintf("flip %d", i), l)
+			l.Close()
 		}
-		oracle.checkRecovered(t, fmt.Sprintf("flip %d", i), l)
-		l.Close()
-	}
+	})
+	// Tiled: flip every byte of the post-compaction WAL tail with the
+	// snapshot and tiles intact. Recovery leans on the snapshot here, so
+	// most flips adopt it; none may serve a diverged head.
+	t.Run("tiledSpan4", func(t *testing.T) {
+		wal, snap, tiles, oracle := buildCrashImage(t, Config{SnapshotEvery: -1, TileSpan: 4})
+		mut := make([]byte, len(wal))
+		for i := 0; i < len(wal); i++ {
+			copy(mut, wal)
+			mut[i] ^= 0xFF
+			l, err := openCrashed(t, mut, snap, tiles)
+			if err != nil {
+				continue // loud failure: acceptable
+			}
+			oracle.checkRecovered(t, fmt.Sprintf("flip %d", i), l)
+			l.Close()
+		}
+	})
 }
 
 // TestCrashRecoveryWithTrailingGarbage appends random-ish garbage after
 // a valid WAL (a crash mid-append over recycled disk blocks) and makes
 // sure recovery discards it and appends continue cleanly after reopen.
 func TestCrashRecoveryWithTrailingGarbage(t *testing.T) {
-	wal, _, oracle := buildCrashImage(t, -1)
+	wal, _, _, oracle := buildCrashImage(t, Config{SnapshotEvery: -1})
 	for _, garbage := range [][]byte{
 		{0x00}, {0xFF}, bytes.Repeat([]byte{0xA5}, 37),
 		storage.AppendRecord(nil, storage.RecordEntry, []byte("ghost"))[:7],
 	} {
-		l, err := openCrashed(t, append(append([]byte(nil), wal...), garbage...), nil)
+		l, err := openCrashed(t, append(append([]byte(nil), wal...), garbage...), nil, nil)
 		if err != nil {
 			t.Fatalf("garbage %x: %v", garbage, err)
 		}

@@ -152,10 +152,32 @@ type Config struct {
 	// periodic snapshots (one is still written on Close). Ignored by
 	// in-memory logs.
 	SnapshotEvery int
+	// TileSpan is the number of entries per sealed storage tile on durable
+	// logs: once a span-aligned prefix of the tree is covered by a
+	// published STH it is sealed into immutable tile files and evicted
+	// from RAM, and the WAL is truncated behind it (see tiles.go). Must be
+	// a power of two ≥ 2; 0 means the default (1024). A directory that
+	// already holds sealed tiles keeps its original span regardless of
+	// this setting. Ignored by in-memory logs (which keep everything
+	// resident and never seal — tree bytes are identical either way).
+	TileSpan int
+	// PageCacheBytes bounds the RAM the tile page cache may hold (decoded
+	// tile pages, LRU-evicted). 0 means the default (64 MiB); negative
+	// disables retention entirely (every sealed-tile read pages in from
+	// disk — useful for cold-cache measurement). Ignored by in-memory
+	// logs.
+	PageCacheBytes int64
 	// ChromeInclusionDate records when the log was accepted into Chrome's
 	// log list (Table 1 annotates logs with it). Informational.
 	ChromeInclusionDate time.Time
 }
+
+// DefaultTileSpan is the sealed-tile span used when Config.TileSpan is 0.
+const DefaultTileSpan = 1024
+
+// DefaultPageCacheBytes is the tile page-cache budget used when
+// Config.PageCacheBytes is 0.
+const DefaultPageCacheBytes = 64 << 20
 
 // SignedTreeHead is an STH: a tree head plus the log's signature over it.
 type SignedTreeHead struct {
@@ -168,17 +190,26 @@ type SignedTreeHead struct {
 type Log struct {
 	cfg Config
 
-	mu      sync.RWMutex
-	tree    *merkle.Tree
-	entries []*Entry
+	mu   sync.RWMutex
+	tree *merkle.TiledTree
+	// entries holds the resident tail of the sequenced log: entries
+	// [tailStart, tree.Size()). On durable logs, entries below tailStart
+	// live in sealed on-disk tiles (served through l.tiles); on in-memory
+	// logs tailStart is always 0 and this is the whole log.
+	entries   []*Entry
+	tailStart uint64
 	// staged is the pending batch: accepted submissions that have an SCT
 	// but are not yet integrated into the tree. Sequence drains it.
 	staged []*Entry
-	// dedupe maps cert-identity hash -> entry (staged or sequenced), so
-	// resubmitting the same (pre)certificate returns the original SCT
-	// (like real logs) whether or not it has been integrated yet.
+	// dedupe maps cert-identity hash -> entry (staged or resident tail),
+	// so resubmitting the same (pre)certificate returns the original SCT
+	// (like real logs) whether or not it has been integrated yet. Sealed
+	// entries leave this map; their identities are found through the
+	// per-tile bloom + index files instead (see add and tiles.go).
 	dedupe map[merkle.Hash]*Entry
-	// byLeafHash maps Merkle leaf hash -> entry index for get-proof-by-hash.
+	// byLeafHash maps Merkle leaf hash -> entry index for
+	// get-proof-by-hash, resident tail only; sealed leaf hashes resolve
+	// through the tile indexes.
 	byLeafHash map[merkle.Hash]uint64
 	// published is the latest signed tree head; it may trail the tree by
 	// up to MMD.
@@ -199,6 +230,12 @@ type Log struct {
 	// in-memory logs. snapAt is the tree size at the last snapshot.
 	store  *storage.Store
 	snapAt uint64
+	// tiles serves sealed tiles on durable logs; nil for in-memory logs.
+	tiles *tileStore
+	// sealStageHook, when set (tests only), observes the seal lifecycle
+	// stages so crash tests can kill the process at each durability
+	// boundary.
+	sealStageHook func(stage string)
 }
 
 // newLog validates cfg and builds an unpublished log skeleton shared by
@@ -219,9 +256,24 @@ func newLog(cfg Config) (*Log, error) {
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = 4096
 	}
+	if cfg.TileSpan == 0 {
+		cfg.TileSpan = DefaultTileSpan
+	}
+	if cfg.TileSpan < 2 || cfg.TileSpan&(cfg.TileSpan-1) != 0 {
+		return nil, fmt.Errorf("ctlog: Config.TileSpan %d is not a power of two ≥ 2", cfg.TileSpan)
+	}
+	if cfg.PageCacheBytes == 0 {
+		cfg.PageCacheBytes = DefaultPageCacheBytes
+	}
+	// In-memory logs get a source-less tiled tree and never seal, so the
+	// tree bytes (and every trajectory) match the durable shape exactly.
+	tree, err := merkle.NewTiled(uint64(cfg.TileSpan), nil)
+	if err != nil {
+		return nil, err
+	}
 	l := &Log{
 		cfg:        cfg,
-		tree:       merkle.New(),
+		tree:       tree,
 		dedupe:     make(map[merkle.Hash]*Entry),
 		byLeafHash: make(map[merkle.Hash]uint64),
 	}
@@ -307,6 +359,21 @@ func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, err
 	if dup {
 		return l.dedupeSCT(prev)
 	}
+	// Sealed entries are no longer in the map: probe the per-tile blooms
+	// and index files, outside any lock (tile files are immutable). The
+	// count is captured first so the write-locked recheck below only has
+	// to cover tiles sealed after this point.
+	var sealedAt uint64
+	if l.tiles != nil {
+		sealedAt = l.tiles.sealedTiles()
+		se, err := l.tiles.lookupID(idHash, 0, sealedAt)
+		if err != nil {
+			return nil, err
+		}
+		if se != nil {
+			return l.sealedDupSCT(se)
+		}
+	}
 	e := &Entry{
 		Timestamp: ts,
 		Type:      ce.Type,
@@ -330,6 +397,23 @@ func (l *Log) add(ce sct.CertificateEntry) (*sct.SignedCertificateTimestamp, err
 	if prev, ok := l.dedupe[idHash]; ok {
 		l.mu.Unlock()
 		return l.dedupeSCT(prev)
+	}
+	if l.tiles != nil {
+		// Tiles sealed between the pre-check and here could have absorbed
+		// a racing first submission of this identity; re-probe just those.
+		// Rare (a seal must have landed in the window), so the tile IO
+		// under the write lock is acceptable.
+		if now := l.tiles.sealedTiles(); now > sealedAt {
+			se, err := l.tiles.lookupID(idHash, sealedAt, now)
+			if err != nil {
+				l.mu.Unlock()
+				return nil, err
+			}
+			if se != nil {
+				l.mu.Unlock()
+				return l.sealedDupSCT(se)
+			}
+		}
 	}
 	if !l.takeTokenLocked(now) {
 		l.rejected++
@@ -396,6 +480,15 @@ func (l *Log) dedupeSCT(prev *Entry) (*sct.SignedCertificateTimestamp, error) {
 		}
 	}
 	return l.cfg.Signer.CreateSCT(prev.Timestamp, prev.SignatureEntry())
+}
+
+// sealedDupSCT answers a resubmission whose original lives in a sealed
+// tile: the SCT is re-issued over the original timestamp, read back from
+// the tile. No dupAnswered pinning (a sealed entry can never be
+// unstaged) and no WAL sync (the original was sequenced, published, and
+// sealed long ago — there is nothing volatile to flush).
+func (l *Log) sealedDupSCT(e *Entry) (*sct.SignedCertificateTimestamp, error) {
+	return l.cfg.Signer.CreateSCT(e.Timestamp, e.SignatureEntry())
 }
 
 // unstage rolls a staged entry back after a signing failure, so the
@@ -506,19 +599,30 @@ func (l *Log) PublishSTH() (SignedTreeHead, error) {
 }
 
 // publishedState is the immutable snapshot stored in Log.pub: the latest
-// STH and the (stable) entry slice prefix it covers.
+// STH plus where the entries it covers live — the resident tail slice
+// for [tailStart, TreeSize), the sealed tiles below tailStart. Readers
+// hold it lock-free; a seal after publication does not disturb it (the
+// old tail backing array stays alive until the next publish swaps the
+// view).
 type publishedState struct {
 	sth SignedTreeHead
-	// entries has length sth.TreeHead.TreeSize. The backing array is
-	// shared with the live log but this prefix is append-frozen.
-	entries []*Entry
+	// tail holds entries [tailStart, sth.TreeHead.TreeSize); the slice is
+	// append-frozen.
+	tail      []*Entry
+	tailStart uint64
+	// tiles serves the sealed prefix; nil on in-memory logs (tailStart 0).
+	tiles *tileStore
 }
 
 func (l *Log) publishLocked() error {
+	root, err := l.tree.Root()
+	if err != nil {
+		return err
+	}
 	th := sct.TreeHead{
 		Timestamp: uint64(l.cfg.Clock().UnixMilli()),
 		TreeSize:  l.tree.Size(),
-		RootHash:  [32]byte(l.tree.Root()),
+		RootHash:  [32]byte(root),
 	}
 	sig, err := l.cfg.Signer.SignTreeHead(th)
 	if err != nil {
@@ -549,11 +653,18 @@ func (l *Log) publishLocked() error {
 		}
 	}
 	l.published = SignedTreeHead{TreeHead: th, Sig: sig}
-	size := th.TreeSize
+	n := th.TreeSize - l.tailStart
 	l.pub.Store(&publishedState{
-		sth:     l.published,
-		entries: l.entries[:size:size],
+		sth:       l.published,
+		tail:      l.entries[:n:n],
+		tailStart: l.tailStart,
+		tiles:     l.tiles,
 	})
+	// Seal every complete tile the new head covers: tile files are
+	// written, verified, and installed; RAM and WAL compact behind them.
+	if err := l.maybeSealLocked(); err != nil {
+		return err
+	}
 	if l.store != nil && l.cfg.SnapshotEvery > 0 && l.snapshotDueLocked() {
 		if err := l.writeSnapshotLocked(); err != nil {
 			return err
@@ -580,9 +691,14 @@ func (l *Log) STH() SignedTreeHead {
 }
 
 // GetEntries returns entries [start, end] (inclusive, like the RFC API),
-// truncated to MaxGetEntries and to the published tree size. It reads the
-// published snapshot and takes no lock; the returned slice aliases the
-// log's immutable published prefix and must be treated as read-only.
+// truncated to MaxGetEntries and to the published tree size. Ranges in
+// the resident tail are served lock-free from the published snapshot;
+// ranges in the sealed prefix are served from the tile page cache, and —
+// like production tile-backed logs — the page is additionally clamped at
+// the end of the tile containing start, so one call touches at most one
+// tile. Callers page on from where the response stopped (ctclient does),
+// so the short page is invisible above the wire. The returned slice
+// aliases immutable published state and must be treated as read-only.
 func (l *Log) GetEntries(start, end uint64) ([]*Entry, error) {
 	ps := l.pub.Load()
 	size := ps.sth.TreeHead.TreeSize
@@ -595,15 +711,31 @@ func (l *Log) GetEntries(start, end uint64) ([]*Entry, error) {
 	if n := end - start + 1; n > uint64(l.cfg.MaxGetEntries) {
 		end = start + uint64(l.cfg.MaxGetEntries) - 1
 	}
-	return ps.entries[start : end+1 : end+1], nil
+	if start >= ps.tailStart {
+		i, j := start-ps.tailStart, end-ps.tailStart
+		return ps.tail[i : j+1 : j+1], nil
+	}
+	// Sealed prefix. start's tile is complete (tailStart is tile-aligned),
+	// so clamping at its boundary never clips below a valid page.
+	tile := start / ps.tiles.span
+	if last := (tile+1)*ps.tiles.span - 1; end > last {
+		end = last
+	}
+	ents, err := ps.tiles.entries(tile)
+	if err != nil {
+		return nil, err
+	}
+	base := tile * ps.tiles.span
+	return ents[start-base : end-base+1 : end-base+1], nil
 }
 
 // StreamEntries calls fn for every entry in [start, end] (inclusive),
 // clipped to the published tree size, and stops at fn's first error.
 // Unlike paging through GetEntries it allocates no per-batch slices and
-// acquires no locks: the published prefix is immutable, so the walk runs
-// entirely on the lock-free snapshot even while writers append. It is
-// the bulk-iteration substrate for harvest-scale crawls.
+// never takes the log mutex: the published prefix is immutable, so the
+// walk runs on the lock-free snapshot even while writers append — the
+// sealed part tile by tile through the page cache, the resident tail
+// directly. It is the bulk-iteration substrate for harvest-scale crawls.
 func (l *Log) StreamEntries(start, end uint64, fn func(*Entry) error) error {
 	ps := l.pub.Load()
 	size := ps.sth.TreeHead.TreeSize
@@ -613,20 +745,51 @@ func (l *Log) StreamEntries(start, end uint64, fn func(*Entry) error) error {
 	if end >= size {
 		end = size - 1
 	}
-	for _, e := range ps.entries[start : end+1] {
-		if err := fn(e); err != nil {
+	for start <= end {
+		if start >= ps.tailStart {
+			for _, e := range ps.tail[start-ps.tailStart : end-ps.tailStart+1] {
+				if err := fn(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Sealed prefix: walk tile by tile so at most one decoded tile
+		// page is pinned at a time.
+		tile := start / ps.tiles.span
+		base := tile * ps.tiles.span
+		stop := min(end, base+ps.tiles.span-1)
+		ents, err := ps.tiles.entries(tile)
+		if err != nil {
 			return err
 		}
+		for _, e := range ents[start-base : stop-base+1] {
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		start = stop + 1
 	}
 	return nil
 }
 
 // GetProofByHash returns the inclusion proof and index for a leaf hash at
-// the given tree size.
+// the given tree size. The resident tail resolves through the RAM map;
+// sealed leaves resolve through the per-tile bloom + index files. Proof
+// construction may page sealed hash tiles in from disk; like the other
+// proof endpoints this happens under the read lock (readers don't block
+// readers, and the page cache keeps repeat proofs off the disk).
 func (l *Log) GetProofByHash(leafHash merkle.Hash, treeSize uint64) (uint64, []merkle.Hash, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	idx, ok := l.byLeafHash[leafHash]
+	if !ok && l.tiles != nil {
+		var err error
+		idx, ok, err = l.tiles.lookupLeafIndex(leafHash)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
 	if !ok {
 		return 0, nil, ErrNotFound
 	}

@@ -43,7 +43,22 @@ func Open(dir string, cfg Config) (*Log, error) {
 		return nil, err
 	}
 	l.store = st
-	if err := l.recover(); err != nil {
+	// The snapshot is loaded before the tree is (re)built because the
+	// tile span is a property of the directory, not the config: sealed
+	// tile files are immutable, so a directory that has sealed under one
+	// span keeps it for life, whatever cfg says now.
+	snap, snapErr := st.LoadSnapshot()
+	span := uint64(l.cfg.TileSpan)
+	if snapErr == nil && snap != nil && snap.TileSpan != 0 {
+		span = snap.TileSpan
+		l.cfg.TileSpan = int(span)
+	}
+	l.tiles = newTileStore(st, span, l.cfg.PageCacheBytes)
+	if l.tree, err = merkle.NewTiled(span, l.tiles); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if err := l.recover(snap, snapErr); err != nil {
 		st.Close()
 		return nil, err
 	}
@@ -78,21 +93,30 @@ func (l *Log) Close() error {
 // snapshot → full WAL replay) starts from scratch instead of from a
 // half-applied attempt.
 type recovered struct {
-	entries    []*Entry
+	entries    []*Entry // resident tail: entries [tiledThrough, tree.Size())
 	staged     []*Entry
-	tree       *merkle.Tree
+	tree       *merkle.TiledTree
 	dedupe     map[merkle.Hash]*Entry
 	byLeafHash map[merkle.Hash]uint64
 	sth        *SignedTreeHead
 	snapSize   uint64
+	// tiledThrough and tileRoots come from the snapshot: the sealed
+	// prefix is NOT replayed entry by entry — the tree is rebuilt by
+	// appending each recorded tile root to the spine (zero tile reads).
+	tiledThrough uint64
+	tileRoots    [][32]byte
 }
 
-func newRecovered() *recovered {
+func newRecovered(l *Log) (*recovered, error) {
+	tree, err := merkle.NewTiled(l.tree.Span(), l.tiles)
+	if err != nil {
+		return nil, err
+	}
 	return &recovered{
-		tree:       merkle.New(),
+		tree:       tree,
 		dedupe:     make(map[merkle.Hash]*Entry),
 		byLeafHash: make(map[merkle.Hash]uint64),
-	}
+	}, nil
 }
 
 // recover rebuilds log state from the store. Called once from Open,
@@ -106,15 +130,17 @@ func newRecovered() *recovered {
 // reset, rather than silently rolling the log back to the WAL's prefix.
 // Only when no usable snapshot exists does recovery fall back to a
 // genesis replay of the WAL's valid prefix.
-func (l *Log) recover() error {
+func (l *Log) recover(snap *storage.Snapshot, snapErr error) error {
 	var rec *recovered
 	adopted := false
-	snap, snapErr := l.store.LoadSnapshot()
 	// snapUnusable: a snapshot file exists but could not be used —
 	// unreadable, or inconsistent with itself or the WAL tail.
 	snapUnusable := snapErr != nil
 	if snapErr == nil && snap != nil {
-		r := newRecovered()
+		r, err := newRecovered(l)
+		if err != nil {
+			return err
+		}
 		if err := r.loadSnapshot(l, snap); err == nil {
 			if int64(snap.WALOffset) > l.store.WALOffset() {
 				rec, adopted = r, true
@@ -123,13 +149,17 @@ func (l *Log) recover() error {
 			}
 		}
 		snapUnusable = rec == nil
-		// Any other failure falls through to a full replay: the WAL is
-		// never compacted, so genesis replay can reconstruct everything
-		// the snapshot could — and if the snapshot disagreed with the
-		// WAL, the WAL (the fsync-ordered record of truth) wins.
+		// Any other failure falls through to a full replay: the WAL below
+		// the last seal-compaction is never discarded without a verified
+		// snapshot covering it, so genesis replay can reconstruct
+		// everything the snapshot could — and if the snapshot disagreed
+		// with the WAL, the WAL (the fsync-ordered record of truth) wins.
 	}
 	if rec == nil {
-		rec = newRecovered()
+		var err error
+		if rec, err = newRecovered(l); err != nil {
+			return err
+		}
 		if err := l.replayWAL(rec, 0); err != nil {
 			return err
 		}
@@ -158,6 +188,16 @@ func (l *Log) recover() error {
 	l.dedupe = rec.dedupe
 	l.byLeafHash = rec.byLeafHash
 	l.snapAt = rec.snapSize
+	l.tailStart = rec.tiledThrough
+	if rec.tiledThrough > 0 {
+		// Register the sealed tiles: roots from the snapshot, blooms read
+		// back from each tile's index file. The blooms are the sealed half
+		// of the dedupe index — a tile they cannot be loaded for would
+		// silently re-admit sealed duplicates, so failure is fatal here.
+		if err := l.tiles.install(rec.tileRoots); err != nil {
+			return err
+		}
+	}
 	if rec.sth == nil {
 		// Fresh directory (or one that crashed before genesis publish):
 		// publish the empty-tree STH like New does. Everything staged in
@@ -165,10 +205,12 @@ func (l *Log) recover() error {
 		return l.publishLocked()
 	}
 	l.published = *rec.sth
-	size := rec.sth.TreeHead.TreeSize
+	n := rec.sth.TreeHead.TreeSize - l.tailStart
 	l.pub.Store(&publishedState{
-		sth:     l.published,
-		entries: l.entries[:size:size],
+		sth:       l.published,
+		tail:      l.entries[:n:n],
+		tailStart: l.tailStart,
+		tiles:     l.tiles,
 	})
 	if adopted {
 		// Re-anchor the snapshot's WAL cursor to the freshly reset WAL,
@@ -214,7 +256,11 @@ func (r *recovered) seal(s storage.SealRecord) error {
 	if r.tree.Size() != s.TreeSize {
 		return fmt.Errorf("%w: seal claims tree size %d, replay built %d", storage.ErrCorrupt, s.TreeSize, r.tree.Size())
 	}
-	if root := r.tree.Root(); root != merkle.Hash(s.Root) {
+	root, err := r.tree.Root()
+	if err != nil {
+		return fmt.Errorf("%w: %v", storage.ErrCorrupt, err)
+	}
+	if root != merkle.Hash(s.Root) {
 		return fmt.Errorf("%w: seal root mismatch at size %d: recorded %s, replayed %s", storage.ErrCorrupt, s.TreeSize, merkle.Hash(s.Root), root)
 	}
 	return nil
@@ -265,8 +311,21 @@ func (r *recovered) unstage(id [32]byte) error {
 }
 
 // loadSnapshot installs a full-state snapshot into rec, verifying the
-// rebuilt tree against the snapshot's recorded size and root.
+// rebuilt tree against the snapshot's recorded size and root. The sealed
+// prefix reconstructs from the recorded tile roots alone — O(tiles)
+// spine appends, no entry bytes, no tile reads — and only the resident
+// tail integrates leaf by leaf.
 func (r *recovered) loadSnapshot(l *Log, snap *storage.Snapshot) error {
+	if snap.TileSpan != 0 && snap.TileSpan != r.tree.Span() {
+		return fmt.Errorf("%w: snapshot tile span %d, directory opened with %d", storage.ErrCorrupt, snap.TileSpan, r.tree.Span())
+	}
+	for _, root := range snap.TileRoots {
+		if err := r.tree.AppendSealedTile(merkle.Hash(root)); err != nil {
+			return fmt.Errorf("%w: %v", storage.ErrCorrupt, err)
+		}
+	}
+	r.tiledThrough = snap.TiledThrough
+	r.tileRoots = snap.TileRoots
 	for _, leaf := range snap.Sequenced {
 		if err := r.stageLeaf(leaf); err != nil {
 			return err
@@ -282,7 +341,11 @@ func (r *recovered) loadSnapshot(l *Log, snap *storage.Snapshot) error {
 	if r.tree.Size() != snap.TreeSize() {
 		return fmt.Errorf("%w: snapshot size mismatch", storage.ErrCorrupt)
 	}
-	if root := r.tree.Root(); root != merkle.Hash(snap.Root) {
+	root, err := r.tree.Root()
+	if err != nil {
+		return fmt.Errorf("%w: %v", storage.ErrCorrupt, err)
+	}
+	if root != merkle.Hash(snap.Root) {
 		return fmt.Errorf("%w: snapshot root mismatch: recorded %s, rebuilt %s", storage.ErrCorrupt, merkle.Hash(snap.Root), root)
 	}
 	for _, leaf := range snap.Staged {
@@ -327,17 +390,26 @@ func (l *Log) replayWAL(r *recovered, from int64) error {
 	})
 }
 
-// writeSnapshotLocked dumps the full log state — sequenced entries in
-// tree order, the staged batch, root, published STH, and the WAL
-// cursor — into an atomically-replaced snapshot file. Requires l.mu.
+// writeSnapshotLocked dumps the full log state — the sealed prefix as
+// tile roots, the resident tail's entries in tree order, the staged
+// batch, root, published STH, and the WAL cursor — into an
+// atomically-replaced snapshot file. Requires l.mu. Snapshot cost is
+// O(tail + staged + tile count), not O(tree): the sealed entries
+// themselves live in the tiles.
 func (l *Log) writeSnapshotLocked() error {
-	snap := &storage.Snapshot{
-		Sequenced: make([][]byte, len(l.entries)),
-		Staged:    make([][]byte, len(l.staged)),
-		Root:      [32]byte(l.tree.Root()),
-		WALOffset: uint64(l.store.WALOffset()),
+	root, err := l.tree.Root()
+	if err != nil {
+		return err
 	}
-	var err error
+	snap := &storage.Snapshot{
+		Sequenced:    make([][]byte, len(l.entries)),
+		Staged:       make([][]byte, len(l.staged)),
+		Root:         [32]byte(root),
+		WALOffset:    uint64(l.store.WALOffset()),
+		TiledThrough: l.tailStart,
+		TileSpan:     l.tree.Span(),
+		TileRoots:    l.tiles.rootsImage(),
+	}
 	for i, e := range l.entries {
 		if snap.Sequenced[i], err = e.MerkleTreeLeaf(); err != nil {
 			return err

@@ -54,9 +54,13 @@ func (l *Log) sequenceLocked() (int, error) {
 	sortBatch(batch)
 	integrateBatch(batch, l.tree, &l.entries, l.byLeafHash)
 	if l.store != nil {
+		root, err := l.tree.Root()
+		if err != nil {
+			return len(batch), err
+		}
 		if _, err := l.store.AppendSeal(storage.SealRecord{
 			TreeSize: l.tree.Size(),
-			Root:     [32]byte(l.tree.Root()),
+			Root:     [32]byte(root),
 		}); err != nil {
 			return len(batch), fmt.Errorf("%w: %v", ErrPersistence, err)
 		}
@@ -72,11 +76,12 @@ func (l *Log) sequenceLocked() (int, error) {
 // leaf-hash→index lookup. It is the single integration routine for the
 // live sequencer and both recovery paths (seal replay and snapshot
 // load), so the rebuilt auxiliary indices can never drift from the live
-// ones.
-func integrateBatch(batch []*Entry, tree *merkle.Tree, entries *[]*Entry, byLeafHash map[merkle.Hash]uint64) {
+// ones. Entry indexes are absolute (the tree assigns them), while the
+// entries slice holds only the resident tail — on a tree recovered over
+// sealed tiles the two differ by tailStart.
+func integrateBatch(batch []*Entry, tree *merkle.TiledTree, entries *[]*Entry, byLeafHash map[merkle.Hash]uint64) {
 	for _, e := range batch {
-		e.Index = uint64(len(*entries))
-		tree.AppendLeafHash(e.leafHash)
+		e.Index = tree.AppendLeafHash(e.leafHash)
 		*entries = append(*entries, e)
 		byLeafHash[e.leafHash] = e.Index
 	}

@@ -70,8 +70,13 @@ const (
 	// identity hash.
 	RecordUnstage RecordType = 4
 	// RecordSnapMeta heads a snapshot file: sequenced and staged entry
-	// counts, the tree root, and the WAL offset replay resumes from.
+	// counts, the tree root, the WAL offset replay resumes from, and (v2)
+	// the tiled-through size and tile span.
 	RecordSnapMeta RecordType = 5
+	// RecordSnapTiles follows the snapshot meta: the subtree root of
+	// every sealed tile, in tile order. The recovery path rebuilds the
+	// tree's spine from these without reading a single tile file.
+	RecordSnapTiles RecordType = 6
 )
 
 // Checkpoint record types (harvest checkpoints ride the same framing;
@@ -103,8 +108,11 @@ type Record struct {
 
 // File magics. 8 bytes: name, NUL padding, format version.
 var (
-	WALMagic      = []byte{'C', 'T', 'W', 'A', 'L', 0, 0, 1}
-	SnapshotMagic = []byte{'C', 'T', 'S', 'N', 'P', 0, 0, 1}
+	WALMagic = []byte{'C', 'T', 'W', 'A', 'L', 0, 0, 1}
+	// SnapshotMagic version 2: the meta record grew tiled-through and
+	// tile-span fields and a tile-roots record follows it, so sealed
+	// entries can live in tile files instead of the snapshot body.
+	SnapshotMagic = []byte{'C', 'T', 'S', 'N', 'P', 0, 0, 2}
 	// CheckpointMagic heads ecosystem harvest checkpoints.
 	CheckpointMagic = []byte{'C', 'T', 'H', 'R', 'V', 0, 0, 1}
 	// AuditMagic heads per-log auditor verified-STH chain files.

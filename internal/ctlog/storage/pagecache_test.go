@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPageCacheLRUEviction(t *testing.T) {
+	c := NewPageCache(30)
+	loads := 0
+	get := func(tile uint64) {
+		v, err := c.Get(PageKey{Kind: 1, Tile: tile}, func() (any, int64, error) {
+			loads++
+			return int(tile), 10, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != int(tile) {
+			t.Fatalf("wrong value for tile %d", tile)
+		}
+	}
+	get(0)
+	get(1)
+	get(2) // cache full, LRU order {2,1,0}
+	get(0) // refresh 0: {0,2,1}
+	get(3) // evicts 1: {3,0,2}
+	if loads != 4 {
+		t.Fatalf("%d loads before eviction test, want 4", loads)
+	}
+	get(1) // miss: 1 was the LRU victim
+	if loads != 5 {
+		t.Fatalf("evicted page served from cache (loads=%d)", loads)
+	}
+	s := c.Stats()
+	if s.Pages != 3 || s.Used != 30 {
+		t.Fatalf("stats: %d pages, %d bytes; want 3, 30", s.Pages, s.Used)
+	}
+	if s.Evictions < 2 {
+		t.Fatalf("evictions = %d, want ≥ 2", s.Evictions)
+	}
+	if s.Hits == 0 || s.Misses != uint64(loads) {
+		t.Fatalf("hits=%d misses=%d loads=%d", s.Hits, s.Misses, loads)
+	}
+}
+
+func TestPageCacheZeroBudgetPassesThrough(t *testing.T) {
+	c := NewPageCache(0)
+	loads := 0
+	for i := 0; i < 3; i++ {
+		v, err := c.Get(PageKey{Tile: 7}, func() (any, int64, error) {
+			loads++
+			return "x", 100, nil
+		})
+		if err != nil || v.(string) != "x" {
+			t.Fatalf("pass-through get failed: %v %v", v, err)
+		}
+	}
+	if loads != 3 {
+		t.Fatalf("zero-budget cache retained pages (%d loads)", loads)
+	}
+	if s := c.Stats(); s.Pages != 0 || s.Used != 0 {
+		t.Fatalf("zero-budget cache holds %d pages / %d bytes", s.Pages, s.Used)
+	}
+}
+
+func TestPageCacheLoadErrorNotCached(t *testing.T) {
+	c := NewPageCache(100)
+	boom := errors.New("io error")
+	if _, err := c.Get(PageKey{Tile: 1}, func() (any, int64, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want load error", err)
+	}
+	ok := false
+	if _, err := c.Get(PageKey{Tile: 1}, func() (any, int64, error) {
+		ok = true
+		return 1, 1, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("failed load was cached")
+	}
+}
+
+func TestPageCacheConcurrent(t *testing.T) {
+	c := NewPageCache(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tile := uint64(i % 17)
+				v, err := c.Get(PageKey{Tile: tile}, func() (any, int64, error) {
+					return tile * 3, 64, nil
+				})
+				if err != nil || v.(uint64) != tile*3 {
+					t.Errorf("tile %d: %v %v", tile, v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Pages != 17 {
+		t.Fatalf("%d pages cached, want 17", s.Pages)
+	}
+}

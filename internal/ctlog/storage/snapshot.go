@@ -12,20 +12,23 @@ import (
 const SnapshotName = "snapshot.ct"
 
 // Snapshot is a full durable image of a log's state at one instant: the
-// sequenced entries in tree order (which is also the dedupe index — the
-// identity hash of every entry, staged or sequenced, is a pure function
-// of its leaf bytes), the pending staged batch in staging order, the
-// tree size and root for integrity verification, the published STH with
-// its original signature bytes, and the WAL offset from which replay
-// resumes. Loading a snapshot and replaying the WAL tail from WALOffset
-// reconstructs byte-identical log state.
+// sequenced tail entries in tree order (entries before TiledThrough live
+// in sealed tile files and are represented here only by their tile
+// roots), the pending staged batch in staging order, the tree size and
+// root for integrity verification, the published STH with its original
+// signature bytes, and the WAL offset from which replay resumes.
+// Loading a snapshot and replaying the WAL tail from WALOffset
+// reconstructs byte-identical log state; the tile files are consulted
+// lazily, on first read of a sealed entry or proof node.
 type Snapshot struct {
-	// Sequenced holds the MerkleTreeLeaf bytes of entries 0..TreeSize-1.
+	// Sequenced holds the MerkleTreeLeaf bytes of the unsealed tail:
+	// entries TiledThrough..TreeSize()-1.
 	Sequenced [][]byte
 	// Staged holds the leaf bytes of accepted-but-unsequenced entries,
 	// in staging order.
 	Staged [][]byte
-	// Root is the Merkle root over Sequenced; loaders must verify it.
+	// Root is the Merkle root over the whole tree (sealed tiles plus
+	// Sequenced); loaders must verify it.
 	Root [32]byte
 	// STH is the published tree head at snapshot time. It may trail the
 	// tree (publication lags sequencing by up to the MMD).
@@ -33,21 +36,33 @@ type Snapshot struct {
 	// WALOffset is the WAL byte offset covering everything in this
 	// snapshot; replay resumes there.
 	WALOffset uint64
+	// TiledThrough is the span-aligned count of entries sealed into tile
+	// files; 0 when nothing is tiled. TileSpan is the per-tile entry
+	// count (0 only when the log has never been tiled), and TileRoots
+	// holds the TiledThrough/TileSpan sealed tile subtree roots in tile
+	// order.
+	TiledThrough uint64
+	TileSpan     uint64
+	TileRoots    [][32]byte
 }
 
-// TreeSize returns the sequenced entry count the snapshot covers.
-func (s *Snapshot) TreeSize() uint64 { return uint64(len(s.Sequenced)) }
+// TreeSize returns the sequenced entry count the snapshot covers:
+// sealed tiles plus the in-snapshot tail.
+func (s *Snapshot) TreeSize() uint64 { return s.TiledThrough + uint64(len(s.Sequenced)) }
 
 // EncodeSnapshot renders a snapshot file image: magic, meta record,
-// entry records (sequenced then staged), and the STH record. Encoding is
-// canonical — the same snapshot always produces the same bytes.
+// tile-roots record, entry records (tail then staged), and the STH
+// record. Encoding is canonical — the same snapshot always produces the
+// same bytes.
 func EncodeSnapshot(s *Snapshot) []byte {
-	b := tlsenc.NewBuilder(8 + 8 + 8 + 32)
+	b := tlsenc.NewBuilder(8 + 8 + 8 + 32 + 8 + 8)
 	b.AddUint64(uint64(len(s.Sequenced)))
 	b.AddUint64(uint64(len(s.Staged)))
 	b.AddUint64(s.WALOffset)
 	b.AddBytes(s.Root[:])
-	size := MagicLen + recordOverhead*(2+len(s.Sequenced)+len(s.Staged))
+	b.AddUint64(s.TiledThrough)
+	b.AddUint64(s.TileSpan)
+	size := MagicLen + recordOverhead*(3+len(s.Sequenced)+len(s.Staged)) + 32*len(s.TileRoots)
 	for _, e := range s.Sequenced {
 		size += len(e)
 	}
@@ -57,6 +72,11 @@ func EncodeSnapshot(s *Snapshot) []byte {
 	out := make([]byte, 0, size+64)
 	out = append(out, SnapshotMagic...)
 	out = AppendRecord(out, RecordSnapMeta, b.MustBytes())
+	roots := make([]byte, 0, 32*len(s.TileRoots))
+	for _, r := range s.TileRoots {
+		roots = append(roots, r[:]...)
+	}
+	out = AppendRecord(out, RecordSnapTiles, roots)
 	for _, e := range s.Sequenced {
 		out = AppendRecord(out, RecordEntry, e)
 	}
@@ -101,6 +121,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	walOff := r.Uint64()
 	var root [32]byte
 	copy(root[:], r.Bytes(32))
+	tiledThrough := r.Uint64()
+	tileSpan := r.Uint64()
 	if err := r.ExpectEmpty(); err != nil {
 		return nil, fmt.Errorf("%w: snapshot meta: %v", ErrCorrupt, err)
 	}
@@ -112,11 +134,41 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if nSeq > maxEntries || nStaged > maxEntries || nSeq+nStaged > maxEntries {
 		return nil, fmt.Errorf("%w: snapshot claims %d+%d entries in %d bytes", ErrCorrupt, nSeq, nStaged, len(data))
 	}
+	switch {
+	case tileSpan == 0:
+		if tiledThrough != 0 {
+			return nil, fmt.Errorf("%w: snapshot tiled through %d with span 0", ErrCorrupt, tiledThrough)
+		}
+	case !validTileSpan(tileSpan):
+		return nil, fmt.Errorf("%w: snapshot tile span %d is not a power of two ≥ 2", ErrCorrupt, tileSpan)
+	case tiledThrough%tileSpan != 0:
+		return nil, fmt.Errorf("%w: snapshot tiled through %d is not span-aligned (span %d)", ErrCorrupt, tiledThrough, tileSpan)
+	}
 	snap := &Snapshot{
-		Sequenced: make([][]byte, 0, nSeq),
-		Staged:    make([][]byte, 0, nStaged),
-		Root:      root,
-		WALOffset: walOff,
+		Sequenced:    make([][]byte, 0, nSeq),
+		Staged:       make([][]byte, 0, nStaged),
+		Root:         root,
+		WALOffset:    walOff,
+		TiledThrough: tiledThrough,
+		TileSpan:     tileSpan,
+	}
+	tilesRec, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if tilesRec.Type != RecordSnapTiles {
+		return nil, fmt.Errorf("%w: snapshot tile roots have record type %d", ErrCorrupt, tilesRec.Type)
+	}
+	var wantTiles uint64
+	if tileSpan != 0 {
+		wantTiles = tiledThrough / tileSpan
+	}
+	if uint64(len(tilesRec.Payload)) != wantTiles*32 {
+		return nil, fmt.Errorf("%w: snapshot has %d tile-root bytes, want %d tiles", ErrCorrupt, len(tilesRec.Payload), wantTiles)
+	}
+	snap.TileRoots = make([][32]byte, wantTiles)
+	for i := range snap.TileRoots {
+		copy(snap.TileRoots[i][:], tilesRec.Payload[32*i:])
 	}
 	for i := uint64(0); i < nSeq+nStaged; i++ {
 		rec, err := next()

@@ -27,12 +27,17 @@ type Store struct {
 // appends after the last durable record. The recovered records are
 // consumed via Replay.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(filepath.Join(dir, TilesDirName), 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating %s: %w", dir, err)
 	}
 	// Make the state directory's own entry durable: a crash that loses
-	// the directory loses every fsync inside it.
+	// the directory loses every fsync inside it. The tiles subdirectory
+	// gets the same treatment so the first sealed tile cannot outlive a
+	// directory that was never journaled.
 	if err := SyncDir(filepath.Dir(dir)); err != nil {
+		return nil, err
+	}
+	if err := SyncDir(dir); err != nil {
 		return nil, err
 	}
 	w, err := openWAL(dir)
@@ -200,6 +205,45 @@ func (s *Store) LoadSnapshot() (*Snapshot, error) {
 		return nil, fmt.Errorf("storage: reading snapshot: %w", err)
 	}
 	return DecodeSnapshot(data)
+}
+
+// TilesDirName is the sealed-tile subdirectory inside a store directory.
+const TilesDirName = "tiles"
+
+// TilePath returns the path of one tile file (ext is a TileExt*
+// constant). Tile numbers render as fixed-width hex so lexicographic
+// directory order is tile order.
+func (s *Store) TilePath(tile uint64, ext string) string {
+	return filepath.Join(s.dir, TilesDirName, fmt.Sprintf("%016x.%s", tile, ext))
+}
+
+// WriteTile durably writes one sealed tile's three files (each
+// atomically: temp + fsync + rename + dirsync). Like the WAL append
+// path, a failure is sticky — a tile that may be torn on disk must not
+// be built upon.
+func (s *Store) WriteTile(tile uint64, leaf, hash, index []byte) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		ext  string
+		data []byte
+	}{{TileExtHash, hash}, {TileExtLeaf, leaf}, {TileExtIndex, index}} {
+		if err := WriteFileAtomic(s.TilePath(tile, f.ext), f.data); err != nil {
+			return s.fail(err)
+		}
+	}
+	return nil
+}
+
+// ReadTile reads one tile file's raw bytes. Read failures are not
+// sticky: a failed page-in must not poison the write path.
+func (s *Store) ReadTile(tile uint64, ext string) ([]byte, error) {
+	data, err := os.ReadFile(s.TilePath(tile, ext))
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading tile %d.%s: %w", tile, ext, err)
+	}
+	return data, nil
 }
 
 // Close closes the store. Further writes fail with ErrClosed.

@@ -157,14 +157,22 @@ func (w *wal) barrier(off int64) error {
 	return nil
 }
 
-// truncateTo cuts the file to off and repositions appends there. Used
-// once, at the end of recovery, before any append.
+// truncateTo cuts the file to off, makes the truncation itself durable,
+// and repositions appends there. Called at the end of recovery and every
+// time a sealed tile lets the WAL be compacted. The fsync is not
+// optional: the callers that truncate then re-anchor the snapshot cursor
+// at the new end would otherwise race a crash that resurrects the old
+// file length, leaving a snapshot whose offset splits a stale record —
+// an ErrCorrupt refusal on what was a perfectly recoverable crash.
 func (w *wal) truncateTo(off int64) error {
 	if err := w.f.Truncate(off); err != nil {
 		return fmt.Errorf("storage: truncating WAL to %d: %w", off, err)
 	}
 	if _, err := w.f.Seek(off, 0); err != nil {
 		return fmt.Errorf("storage: seeking WAL: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing truncated WAL: %w", err)
 	}
 	w.writeOff.Store(off)
 	w.synced.Store(off)

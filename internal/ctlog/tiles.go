@@ -1,0 +1,463 @@
+package ctlog
+
+import (
+	"fmt"
+	"sync"
+
+	"ctrise/internal/ctlog/storage"
+	"ctrise/internal/merkle"
+)
+
+// Tiled storage. On durable logs, sequenced entries do not stay resident
+// forever: once a span-aligned prefix of the tree is covered by a
+// published STH, it is sealed into immutable on-disk tiles (leaf bytes,
+// Merkle subtree hashes, and a bloom-fronted lookup index per tile — see
+// storage/tile.go for the formats) and evicted from RAM. From then on
+// get-entries, get-proof-by-hash, and get-consistency are served from
+// the tiles through a byte-budget LRU page cache, the dedupe check for
+// sealed entries goes through per-tile blooms + binary-searched index
+// files, and — because the snapshot now carries the tile roots instead
+// of the sealed entries — the WAL is truncated behind the seal. RAM and
+// WAL therefore stay bounded by the mutable edge (tail + staged batch +
+// page-cache budget + ~4 bloom bytes per sealed entry), independent of
+// tree size.
+//
+// The seal is three-phase, and the ordering is the crash-safety
+// argument:
+//
+//  1. Write: each tile's three files are written atomically and fsynced,
+//     then read back from disk and re-verified against the in-RAM tree
+//     (the hash tile's recomputed root must equal the tree's subtree
+//     root; the leaf tile must hash to the hash tile's leaf level). A
+//     crash here leaves orphan tile files that the next seal rewrites.
+//  2. Install: the tree prunes its sub-tile levels (merkle.TiledTree.Seal),
+//     the sealed entries leave the tail/dedupe/proof maps, and the tile
+//     roots + blooms register in the tileStore.
+//  3. Compact: a snapshot carrying the tile roots and the now-short tail
+//     is written at the current WAL offset, the WAL is truncated to its
+//     header (fsynced), and a second snapshot re-anchors the cursor at
+//     the truncated offset. A crash between the truncate and the second
+//     snapshot is the existing adopt-snapshot recovery path: the first
+//     snapshot's cursor lies beyond the WAL end, so recovery adopts it
+//     and re-anchors, exactly as it does for mid-file WAL corruption.
+
+// Page-cache kinds for the three tile file types.
+const (
+	pageKindHash  uint8 = 1
+	pageKindLeaf  uint8 = 2
+	pageKindIndex uint8 = 3
+)
+
+// tileStore serves sealed tiles: it implements merkle.NodeSource for the
+// tree's pruned levels and the sealed-entry read/lookup paths for the
+// log, everything flowing through one page cache. The mutable metadata
+// (tile roots, resident blooms) is guarded by its own mutex so readers
+// never touch the log's; the tile files themselves are immutable once
+// sealed.
+type tileStore struct {
+	st    *storage.Store
+	span  uint64
+	tlvl  uint // log2(span)
+	cache *storage.PageCache
+
+	mu     sync.RWMutex
+	roots  []merkle.Hash
+	blooms []tileBlooms
+}
+
+type tileBlooms struct {
+	id   storage.Bloom
+	leaf storage.Bloom
+}
+
+func newTileStore(st *storage.Store, span uint64, cacheBytes int64) *tileStore {
+	tlvl := uint(0)
+	for s := span; s > 1; s >>= 1 {
+		tlvl++
+	}
+	return &tileStore{st: st, span: span, tlvl: tlvl, cache: storage.NewPageCache(cacheBytes)}
+}
+
+// sealedTiles returns the number of registered sealed tiles.
+func (ts *tileStore) sealedTiles() uint64 {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return uint64(len(ts.roots))
+}
+
+// rootAt returns the registered root of one sealed tile.
+func (ts *tileStore) rootAt(tile uint64) (merkle.Hash, bool) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	if tile >= uint64(len(ts.roots)) {
+		return merkle.Hash{}, false
+	}
+	return ts.roots[tile], true
+}
+
+// register appends one sealed tile's root and blooms; tiles register in
+// order.
+func (ts *tileStore) register(tile uint64, root merkle.Hash, id, leaf storage.Bloom) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if uint64(len(ts.roots)) != tile {
+		return fmt.Errorf("ctlog: registering tile %d after %d tiles", tile, len(ts.roots))
+	}
+	ts.roots = append(ts.roots, root)
+	ts.blooms = append(ts.blooms, tileBlooms{id: id, leaf: leaf})
+	return nil
+}
+
+// rootsImage copies the registered tile roots for a snapshot.
+func (ts *tileStore) rootsImage() [][32]byte {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	out := make([][32]byte, len(ts.roots))
+	for i, r := range ts.roots {
+		out[i] = [32]byte(r)
+	}
+	return out
+}
+
+// install sets the sealed-tile roots at recovery time and loads each
+// tile's blooms from its index file. The blooms must be resident before
+// the first submission (they are the sealed half of the dedupe index),
+// so a tile whose index cannot be read or validated fails Open loudly.
+func (ts *tileStore) install(roots [][32]byte) error {
+	ts.mu.Lock()
+	ts.roots = make([]merkle.Hash, len(roots))
+	for i, r := range roots {
+		ts.roots[i] = merkle.Hash(r)
+	}
+	ts.blooms = make([]tileBlooms, 0, len(roots))
+	ts.mu.Unlock()
+	for tile := uint64(0); tile < uint64(len(roots)); tile++ {
+		ix, err := ts.index(tile)
+		if err != nil {
+			return fmt.Errorf("loading sealed tile %d index: %w", tile, err)
+		}
+		ts.mu.Lock()
+		ts.blooms = append(ts.blooms, tileBlooms{id: ix.IDBloom, leaf: ix.LeafBloom})
+		ts.mu.Unlock()
+	}
+	return nil
+}
+
+// load runs one tile file through the page cache: read, decode,
+// validate. IO failures wrap ErrPersistence (the 503 class — the tile
+// should exist); decode failures stay storage.ErrCorrupt.
+func (ts *tileStore) load(kind uint8, tile uint64, ext string, decode func([]byte) (any, error)) (any, error) {
+	return ts.cache.Get(storage.PageKey{Kind: kind, Tile: tile}, func() (any, int64, error) {
+		data, err := ts.st.ReadTile(tile, ext)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+		v, err := decode(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, int64(len(data)), nil
+	})
+}
+
+// hashTile pages in one tile's Merkle levels. The decoder already proved
+// the file internally consistent (every parent recomputed from its
+// children); pinning the recomputed root to the root registered at seal
+// time extends that proof to "this is the subtree the tree committed
+// to", so every node served to a proof is covered.
+func (ts *tileStore) hashTile(tile uint64) (*storage.HashTile, error) {
+	v, err := ts.load(pageKindHash, tile, storage.TileExtHash, func(data []byte) (any, error) {
+		ht, err := storage.DecodeHashTile(data)
+		if err != nil {
+			return nil, err
+		}
+		if ht.Tile != tile || ht.Span != ts.span {
+			return nil, fmt.Errorf("%w: tile %d.hash labeled (%d, span %d)", storage.ErrCorrupt, tile, ht.Tile, ht.Span)
+		}
+		if want, ok := ts.rootAt(tile); ok && merkle.Hash(ht.Root()) != want {
+			return nil, fmt.Errorf("%w: tile %d root does not match the sealed tree", storage.ErrCorrupt, tile)
+		}
+		return ht, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*storage.HashTile), nil
+}
+
+// entries pages in one sealed tile's parsed entries. Each leaf is
+// cross-checked against the hash tile's leaf level, so a corrupt leaf
+// file cannot serve bytes the tree never committed to. Returned entries
+// are immutable and shared by every reader of the cached page.
+func (ts *tileStore) entries(tile uint64) ([]*Entry, error) {
+	v, err := ts.load(pageKindLeaf, tile, storage.TileExtLeaf, func(data []byte) (any, error) {
+		lt, err := storage.DecodeLeafTile(data)
+		if err != nil {
+			return nil, err
+		}
+		if lt.Tile != tile || lt.Span != ts.span {
+			return nil, fmt.Errorf("%w: tile %d.leaf labeled (%d, span %d)", storage.ErrCorrupt, tile, lt.Tile, lt.Span)
+		}
+		ht, err := ts.hashTile(tile)
+		if err != nil {
+			return nil, err
+		}
+		ents := make([]*Entry, len(lt.Leaves))
+		for i, leaf := range lt.Leaves {
+			e, err := ParseMerkleTreeLeaf(leaf)
+			if err != nil {
+				return nil, fmt.Errorf("%w: tile %d entry %d: %v", storage.ErrCorrupt, tile, i, err)
+			}
+			e.Index = tile*ts.span + uint64(i)
+			e.leafHash = merkle.HashLeaf(leaf)
+			if [32]byte(e.leafHash) != ht.Levels[0][i] {
+				return nil, fmt.Errorf("%w: tile %d entry %d does not hash to the sealed leaf hash", storage.ErrCorrupt, tile, i)
+			}
+			ents[i] = e
+		}
+		return ents, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*Entry), nil
+}
+
+// index pages in one tile's lookup index.
+func (ts *tileStore) index(tile uint64) (*storage.TileIndex, error) {
+	v, err := ts.load(pageKindIndex, tile, storage.TileExtIndex, func(data []byte) (any, error) {
+		ix, err := storage.DecodeTileIndex(data)
+		if err != nil {
+			return nil, err
+		}
+		if ix.Tile != tile || ix.Span != ts.span {
+			return nil, fmt.Errorf("%w: tile %d.idx labeled (%d, span %d)", storage.ErrCorrupt, tile, ix.Tile, ix.Span)
+		}
+		return ix, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*storage.TileIndex), nil
+}
+
+// Node implements merkle.NodeSource: the hash of the perfect subtree at
+// (level, index) for levels the tree has pruned, served from the hash
+// tile that contains it. level < log2(span) always (the spine above
+// stays in RAM), so the node maps into exactly one tile.
+func (ts *tileStore) Node(level int, index uint64) (merkle.Hash, error) {
+	shift := ts.tlvl - uint(level)
+	tile := index >> shift
+	ht, err := ts.hashTile(tile)
+	if err != nil {
+		return merkle.Hash{}, err
+	}
+	return merkle.Hash(ht.Levels[level][index-tile<<shift]), nil
+}
+
+// probe returns the sealed tiles in [from, to) whose bloom reports a
+// possible hit for h. which selects the id or leaf bloom.
+func (ts *tileStore) probe(h merkle.Hash, which int, from, to uint64) []uint64 {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	if to > uint64(len(ts.blooms)) {
+		to = uint64(len(ts.blooms))
+	}
+	var hits []uint64
+	for tile := from; tile < to; tile++ {
+		b := ts.blooms[tile].id
+		if which == storage.TileIndexLeaf {
+			b = ts.blooms[tile].leaf
+		}
+		if b.Test([32]byte(h)) {
+			hits = append(hits, tile)
+		}
+	}
+	return hits
+}
+
+// lookupID searches sealed tiles [from, to) for an entry with the given
+// identity hash: bloom probe first, then the binary-searched index file
+// of each candidate, then the entry itself from its leaf tile. Returns
+// nil when not present.
+func (ts *tileStore) lookupID(h merkle.Hash, from, to uint64) (*Entry, error) {
+	for _, tile := range ts.probe(h, storage.TileIndexID, from, to) {
+		ix, err := ts.index(tile)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := storage.SearchIndexRows(ix.ID, [32]byte(h))
+		if !ok {
+			continue // bloom false positive
+		}
+		ents, err := ts.entries(idx / ts.span)
+		if err != nil {
+			return nil, err
+		}
+		return ents[idx%ts.span], nil
+	}
+	return nil, nil
+}
+
+// lookupLeafIndex searches every sealed tile for a Merkle leaf hash and
+// returns its entry index.
+func (ts *tileStore) lookupLeafIndex(h merkle.Hash) (uint64, bool, error) {
+	for _, tile := range ts.probe(h, storage.TileIndexLeaf, 0, ^uint64(0)) {
+		ix, err := ts.index(tile)
+		if err != nil {
+			return 0, false, err
+		}
+		if idx, ok := storage.SearchIndexRows(ix.Leaf, [32]byte(h)); ok {
+			return idx, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// maybeSealLocked seals every complete tile covered by the just-published
+// STH and compacts the WAL behind it. Called from publishLocked (with
+// l.mu held) after the published state is installed; sealing never
+// changes tree bytes, only where they live, so trajectories stay
+// byte-identical to an in-memory run. Errors surface as the publish
+// error and leave RAM consistent: either nothing was installed (tile
+// write/verify failed — orphan files on disk, rewritten by the next
+// seal) or the seal is fully installed in RAM and only the compaction
+// snapshot failed (the sticky store failure stops further writes; a
+// restart recovers the pre-seal state from the intact WAL).
+func (l *Log) maybeSealLocked() error {
+	if l.tiles == nil {
+		return nil
+	}
+	span := l.tiles.span
+	target := l.published.TreeHead.TreeSize / span * span
+	if target <= l.tailStart {
+		return nil
+	}
+	first := l.tailStart / span
+	for tile := first; tile*span < target; tile++ {
+		if err := l.sealTileLocked(tile); err != nil {
+			return err
+		}
+	}
+	l.sealStage("tiles-written")
+	// Install: prune the tree below the tile level, drop the sealed
+	// entries from the tail and the RAM-resident lookup maps. Readers
+	// holding the published view keep the old tail slice alive until the
+	// next publish; new lookups go through the tiles.
+	if err := l.tree.Seal(target); err != nil {
+		return fmt.Errorf("%w: %v", storage.ErrCorrupt, err)
+	}
+	n := target - l.tailStart
+	for _, e := range l.entries[:n] {
+		delete(l.dedupe, e.idHash)
+		delete(l.byLeafHash, e.leafHash)
+	}
+	l.entries = append([]*Entry(nil), l.entries[n:]...)
+	l.tailStart = target
+	// Re-store the published view over the new tail so reads route
+	// through the tiles immediately (and the old full-tail backing array
+	// becomes collectable once current readers drain). Same head — only
+	// where its entries live changed.
+	m := l.published.TreeHead.TreeSize - l.tailStart
+	l.pub.Store(&publishedState{
+		sth:       l.published,
+		tail:      l.entries[:m:m],
+		tailStart: l.tailStart,
+		tiles:     l.tiles,
+	})
+	// Compact: snapshot (tile roots + short tail) at the current WAL
+	// offset, truncate the WAL, re-anchor the snapshot at the truncated
+	// offset. See the package comment above for the crash analysis of
+	// each window.
+	if err := l.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	l.sealStage("snapshot-pre-truncate")
+	if err := l.store.ResetWAL(); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersistence, err)
+	}
+	l.sealStage("wal-truncated")
+	if err := l.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	l.sealStage("snapshot-anchored")
+	return nil
+}
+
+// sealTileLocked writes, fsyncs, re-verifies, and registers one tile.
+func (l *Log) sealTileLocked(tile uint64) error {
+	span := l.tiles.span
+	base := tile*span - l.tailStart
+	ents := l.entries[base : base+span]
+	leaves := make([][]byte, span)
+	leafHashes := make([][32]byte, span)
+	idHashes := make([][32]byte, span)
+	for i, e := range ents {
+		leaf, err := e.MerkleTreeLeaf()
+		if err != nil {
+			return err
+		}
+		leaves[i] = leaf
+		leafHashes[i] = [32]byte(e.leafHash)
+		idHashes[i] = [32]byte(e.idHash)
+	}
+	ht, err := storage.BuildHashTile(tile, leafHashes)
+	if err != nil {
+		return err
+	}
+	want, err := l.tree.TileRoot(tile)
+	if err != nil {
+		return err
+	}
+	if merkle.Hash(ht.Root()) != want {
+		return fmt.Errorf("%w: tile %d built root differs from the live tree", storage.ErrCorrupt, tile)
+	}
+	lt := &storage.LeafTile{Tile: tile, Span: span, Leaves: leaves}
+	ix := storage.BuildTileIndex(tile, tile*span, idHashes, leafHashes)
+	if err := l.store.WriteTile(tile, storage.EncodeLeafTile(lt), storage.EncodeHashTile(ht), storage.EncodeTileIndex(ix)); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersistence, err)
+	}
+	// Read back through the page cache — a real disk read, since sealed
+	// tiles are only ever paged in below the seal boundary — and verify
+	// what is actually durable before the tree prunes anything. The leaf
+	// page-in cross-checks every leaf against the hash tile; the root
+	// check here ties the hash tile to the tree.
+	diskHT, err := l.tiles.hashTile(tile)
+	if err != nil {
+		return err
+	}
+	if merkle.Hash(diskHT.Root()) != want {
+		return fmt.Errorf("%w: tile %d read-back root differs from the live tree", storage.ErrCorrupt, tile)
+	}
+	if _, err := l.tiles.entries(tile); err != nil {
+		return err
+	}
+	diskIx, err := l.tiles.index(tile)
+	if err != nil {
+		return err
+	}
+	return l.tiles.register(tile, want, diskIx.IDBloom, diskIx.LeafBloom)
+}
+
+// sealStage invokes the test-only seal lifecycle hook.
+func (l *Log) sealStage(stage string) {
+	if l.sealStageHook != nil {
+		l.sealStageHook(stage)
+	}
+}
+
+// CacheStats reports the tile page cache's counters; zero for in-memory
+// logs.
+func (l *Log) CacheStats() storage.PageCacheStats {
+	if l.tiles == nil {
+		return storage.PageCacheStats{}
+	}
+	return l.tiles.cache.Stats()
+}
+
+// TiledThrough reports how many entries live in sealed tiles.
+func (l *Log) TiledThrough() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tailStart
+}

@@ -1,0 +1,504 @@
+package ctlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ctrise/internal/ctlog/storage"
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+// Tests for the tiled storage engine: sealing, tile-backed reads and
+// proofs, dedupe across the seal boundary, WAL compaction, recovery from
+// tiles, and crash consistency at every seal lifecycle stage.
+
+// fillAndPublish submits n distinct certificates (labeled by prefix) and
+// publishes, returning the published head.
+func fillAndPublish(t *testing.T, l *Log, clk *virtualClock, prefix string, n int) SignedTreeHead {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("%s-%04d", prefix, i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	sth, err := l.PublishSTH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sth
+}
+
+// collectLeaves streams [0, size) and returns each entry's leaf bytes.
+func collectLeaves(t *testing.T, l *Log, size uint64) [][]byte {
+	t.Helper()
+	var leaves [][]byte
+	if size == 0 {
+		return leaves
+	}
+	err := l.StreamEntries(0, size-1, func(e *Entry) error {
+		leaf, err := e.MerkleTreeLeaf()
+		if err != nil {
+			return err
+		}
+		leaves = append(leaves, leaf)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leaves
+}
+
+// TestTiledSealAndServe drives a small-span durable log across several
+// seal boundaries and checks the full read surface over the mixed
+// sealed/resident tree: paging with tile clamping, streaming, proofs by
+// hash for sealed and resident entries, and consistency across the seal.
+func TestTiledSealAndServe(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 4, SnapshotEvery: -1})
+	defer l.Close()
+
+	var heads []SignedTreeHead
+	heads = append(heads, fillAndPublish(t, l, clk, "seal", 11))
+	if got := l.TiledThrough(); got != 8 {
+		t.Fatalf("tiled through %d after 11 entries at span 4, want 8", got)
+	}
+	heads = append(heads, fillAndPublish(t, l, clk, "more", 3))
+	if got := l.TiledThrough(); got != 12 {
+		t.Fatalf("tiled through %d after 14 entries, want 12", got)
+	}
+	sth := heads[len(heads)-1]
+	size := sth.TreeHead.TreeSize
+
+	// Tile files exist for the sealed prefix only.
+	for tile := uint64(0); tile < 3; tile++ {
+		for _, ext := range []string{storage.TileExtLeaf, storage.TileExtHash, storage.TileExtIndex} {
+			path := filepath.Join(dir, storage.TilesDirName, fmt.Sprintf("%016x.%s", tile, ext))
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("sealed tile file missing: %v", err)
+			}
+		}
+	}
+
+	// Paging: a get-entries page never crosses a tile boundary in the
+	// sealed region, and the whole log is reachable by paging on from
+	// each short response — the RFC contract clients rely on.
+	page, err := l.GetEntries(0, size-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 4 || page[0].Index != 0 || page[3].Index != 3 {
+		t.Fatalf("page from 0 spans %d entries (first %d), want the 4 of tile 0", len(page), page[0].Index)
+	}
+	if page, err = l.GetEntries(6, size-1); err != nil || len(page) != 2 || page[0].Index != 6 {
+		t.Fatalf("mid-tile page: %d entries err=%v", len(page), err)
+	}
+	var paged []*Entry
+	for next := uint64(0); next < size; {
+		p, err := l.GetEntries(next, size-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) == 0 {
+			t.Fatalf("empty page at %d", next)
+		}
+		paged = append(paged, p...)
+		next += uint64(len(p))
+	}
+	if uint64(len(paged)) != size {
+		t.Fatalf("paging collected %d of %d entries", len(paged), size)
+	}
+	for i, e := range paged {
+		if e.Index != uint64(i) {
+			t.Fatalf("paged entry %d has index %d", i, e.Index)
+		}
+	}
+
+	// Streaming crosses tiles and the tail seamlessly.
+	if got := collectLeaves(t, l, size); uint64(len(got)) != size {
+		t.Fatalf("streamed %d of %d entries", len(got), size)
+	}
+
+	// Proofs: every entry — sealed and resident — proves into the head,
+	// located by leaf hash through the tile indexes.
+	for _, e := range paged {
+		lh, err := e.LeafHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, proof, err := l.GetProofByHash(lh, size)
+		if err != nil {
+			t.Fatalf("proof for entry %d: %v", e.Index, err)
+		}
+		if idx != e.Index {
+			t.Fatalf("leaf hash of entry %d resolved to %d", e.Index, idx)
+		}
+		if err := verifyInclusionForTest(lh, idx, sth, proof); err != nil {
+			t.Fatalf("entry %d: %v", e.Index, err)
+		}
+	}
+
+	// Consistency across the seal boundary.
+	proof, err := l.GetConsistencyProof(heads[0].TreeHead.TreeSize, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyConsistencyForTest(heads[0], sth, proof); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reads above went through the page cache.
+	if s := l.CacheStats(); s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("page cache never exercised: %+v", s)
+	}
+}
+
+// TestTiledMatchesInMemory pins the determinism contract the ecosystem
+// suites depend on: a durable log sealing aggressively (tiny span)
+// publishes byte-identical tree heads to an in-memory log fed the same
+// submissions on the same clock — sealing changes where bytes live,
+// never what they are.
+func TestTiledMatchesInMemory(t *testing.T) {
+	run := func(l *Log, clk *virtualClock) []SignedTreeHead {
+		var heads []SignedTreeHead
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 7; i++ {
+				if _, err := l.AddChain([]byte(fmt.Sprintf("det-%d-%d", round, i))); err != nil {
+					t.Fatal(err)
+				}
+				clk.Advance(time.Second)
+			}
+			sth, err := l.PublishSTH()
+			if err != nil {
+				t.Fatal(err)
+			}
+			heads = append(heads, sth)
+			clk.Advance(time.Hour)
+		}
+		return heads
+	}
+	memClk := newClock()
+	mem, err := New(Config{Name: "M", Signer: sct.NewFastSigner("det-log"), Clock: memClk.Now, TileSpan: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memHeads := run(mem, memClk)
+
+	dur, durClk := newDurableLog(t, t.TempDir(), Config{Signer: sct.NewFastSigner("det-log"), TileSpan: 4})
+	defer dur.Close()
+	durHeads := run(dur, durClk)
+
+	if dur.TiledThrough() == 0 {
+		t.Fatal("durable log never sealed; the comparison is vacuous")
+	}
+	for i := range memHeads {
+		if memHeads[i].TreeHead != durHeads[i].TreeHead {
+			t.Fatalf("head %d diverged:\nmem %+v\ndur %+v", i, memHeads[i].TreeHead, durHeads[i].TreeHead)
+		}
+		if !bytes.Equal(memHeads[i].Sig.Signature, durHeads[i].Sig.Signature) {
+			t.Fatalf("head %d signature bytes diverged", i)
+		}
+	}
+}
+
+// TestTiledReopen proves a log reopened from tiles + snapshot + WAL tail
+// serves byte-identical state: STH, every entry (straight from the tile
+// files), and verifying proofs — and keeps growing consistently.
+func TestTiledReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 4})
+	before := fillAndPublish(t, l, clk, "reopen", 14)
+	wantLeaves := collectLeaves(t, l, before.TreeHead.TreeSize)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, clk2 := newDurableLog(t, dir, Config{TileSpan: 4})
+	defer l2.Close()
+	sameLogState(t, l, l2)
+	if got := l2.TiledThrough(); got != 12 {
+		t.Fatalf("reopened tiledThrough %d, want 12", got)
+	}
+	gotLeaves := collectLeaves(t, l2, before.TreeHead.TreeSize)
+	if len(gotLeaves) != len(wantLeaves) {
+		t.Fatalf("reopened log streams %d entries, want %d", len(gotLeaves), len(wantLeaves))
+	}
+	for i := range wantLeaves {
+		if !bytes.Equal(gotLeaves[i], wantLeaves[i]) {
+			t.Fatalf("entry %d differs after reopen from tiles", i)
+		}
+	}
+	// Proofs over the recovered tree, including tile-resident leaves.
+	sth := l2.STH()
+	for i, leaf := range wantLeaves {
+		lh := merkle.HashLeaf(leaf)
+		idx, proof, err := l2.GetProofByHash(lh, sth.TreeHead.TreeSize)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if err := verifyInclusionForTest(lh, idx, sth, proof); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+	}
+	// Growth after reopen links consistently to the pre-restart head.
+	after := fillAndPublish(t, l2, clk2, "post", 5)
+	proof, err := l2.GetConsistencyProof(before.TreeHead.TreeSize, after.TreeHead.TreeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyConsistencyForTest(before, after, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTiledSpanIsSticky proves the directory's span wins over the
+// config: a log sealed at span 4 reopened with TileSpan 16 keeps span 4
+// (tile files are immutable; a span change would orphan them all).
+func TestTiledSpanIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 4})
+	fillAndPublish(t, l, clk, "sticky", 8)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := newDurableLog(t, dir, Config{TileSpan: 16})
+	defer l2.Close()
+	if got := l2.tree.Span(); got != 4 {
+		t.Fatalf("reopened span %d, want the directory's 4", got)
+	}
+	if got := l2.TiledThrough(); got != 8 {
+		t.Fatalf("reopened tiledThrough %d, want 8", got)
+	}
+}
+
+// TestTiledDedupeAcrossSealAndReopen proves the two-level dedupe index:
+// an entry whose original has been sealed out of RAM — and, separately,
+// one reopened from disk — still answers a resubmission with the
+// original SCT timestamp via the per-tile bloom + index files.
+func TestTiledDedupeAcrossSealAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 4})
+	target := []byte("the-original-cert")
+	orig, err := l.AddChain(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	fillAndPublish(t, l, clk, "filler", 7) // seals tiles 0..1, evicting the original from RAM
+	if l.TiledThrough() != 8 {
+		t.Fatalf("tiledThrough %d, want 8", l.TiledThrough())
+	}
+	if inRAM := func() bool {
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		_, ok := l.dedupe[entryIdentity(sct.X509Entry(target))]
+		return ok
+	}(); inRAM {
+		t.Fatal("sealed entry still pinned in the RAM dedupe map")
+	}
+	clk.Advance(72 * time.Hour)
+	dup, err := l.AddChain(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Timestamp != orig.Timestamp {
+		t.Fatalf("sealed duplicate got timestamp %d, want original %d", dup.Timestamp, orig.Timestamp)
+	}
+	if n := l.PendingCount(); n != 0 {
+		t.Fatalf("duplicate staged a new entry (%d pending)", n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Across a restart the blooms reload from the tile index files.
+	l2, clk2 := newDurableLog(t, dir, Config{TileSpan: 4})
+	defer l2.Close()
+	clk2.Advance(96 * time.Hour)
+	dup2, err := l2.AddChain(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup2.Timestamp != orig.Timestamp {
+		t.Fatalf("post-reopen duplicate got timestamp %d, want original %d", dup2.Timestamp, orig.Timestamp)
+	}
+	if n := l2.PendingCount(); n != 0 {
+		t.Fatalf("post-reopen duplicate staged a new entry (%d pending)", n)
+	}
+}
+
+// TestTiledWALBounded is the acceptance check for the open PR 4 item:
+// under sustained aligned load the WAL never outgrows one seal cycle —
+// after every boundary-crossing publish it is back to its bare header,
+// at any log size.
+func TestTiledWALBounded(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 8, SnapshotEvery: -1})
+	defer l.Close()
+	walPath := filepath.Join(dir, storage.WALName)
+	var maxWAL int64
+	for round := 0; round < 40; round++ {
+		fillAndPublish(t, l, clk, fmt.Sprintf("load-%d", round), 8)
+		fi, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != storage.MagicLen {
+			t.Fatalf("round %d: WAL is %d bytes after an aligned publish, want the bare header (%d)", round, fi.Size(), storage.MagicLen)
+		}
+		if fi.Size() > maxWAL {
+			maxWAL = fi.Size()
+		}
+	}
+	if l.TreeSize() != 320 || l.TiledThrough() != 320 {
+		t.Fatalf("tree %d / tiled %d, want 320/320", l.TreeSize(), l.TiledThrough())
+	}
+}
+
+// TestTiledSealCrashAtEveryStage captures the full durable image (WAL,
+// snapshot, tiles) at every stage boundary of the seal lifecycle — via
+// the sealStageHook, while the live log is mid-seal — and reopens each
+// image as if the process had been killed there. Every stage must
+// recover exactly the state the live log held, because every stage's
+// on-disk image is self-consistent by construction: tiles before
+// snapshot, snapshot before truncate, re-anchor after truncate.
+func TestTiledSealCrashAtEveryStage(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 4, SnapshotEvery: -1})
+
+	type image struct {
+		files map[string][]byte // relative path -> contents
+	}
+	captured := map[string]image{}
+	snapshotDir := func() image {
+		img := image{files: map[string][]byte{}}
+		for _, rel := range []string{storage.WALName, storage.SnapshotName} {
+			if data, err := os.ReadFile(filepath.Join(dir, rel)); err == nil {
+				img.files[rel] = data
+			}
+		}
+		tilesDir := filepath.Join(dir, storage.TilesDirName)
+		names, _ := os.ReadDir(tilesDir)
+		for _, de := range names {
+			data, err := os.ReadFile(filepath.Join(tilesDir, de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			img.files[filepath.Join(storage.TilesDirName, de.Name())] = data
+		}
+		return img
+	}
+	l.sealStageHook = func(stage string) {
+		captured[stage] = snapshotDir()
+	}
+
+	sth := fillAndPublish(t, l, clk, "crash", 10) // seals tiles 0..1 in one publish
+	wantLeaves := collectLeaves(t, l, sth.TreeHead.TreeSize)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stages := []string{"tiles-written", "snapshot-pre-truncate", "wal-truncated", "snapshot-anchored"}
+	for _, stage := range stages {
+		img, ok := captured[stage]
+		if !ok {
+			t.Fatalf("seal never reached stage %q", stage)
+		}
+		t.Run(stage, func(t *testing.T) {
+			crashDir := t.TempDir()
+			if err := os.MkdirAll(filepath.Join(crashDir, storage.TilesDirName), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for rel, data := range img.files {
+				if err := os.WriteFile(filepath.Join(crashDir, rel), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l2, clk2 := newDurableLog(t, crashDir, Config{TileSpan: 4})
+			defer l2.Close()
+			// Every stage happens after the STH was durably published, so
+			// recovery must land on exactly that head and tree.
+			got := l2.STH()
+			if got.TreeHead != sth.TreeHead {
+				t.Fatalf("recovered head %+v, want %+v", got.TreeHead, sth.TreeHead)
+			}
+			gotLeaves := collectLeaves(t, l2, got.TreeHead.TreeSize)
+			if len(gotLeaves) != len(wantLeaves) {
+				t.Fatalf("recovered %d entries, want %d", len(gotLeaves), len(wantLeaves))
+			}
+			for i := range wantLeaves {
+				if !bytes.Equal(gotLeaves[i], wantLeaves[i]) {
+					t.Fatalf("entry %d differs after stage-%s crash", i, stage)
+				}
+			}
+			// And the log keeps accepting, sealing, and publishing.
+			next := fillAndPublish(t, l2, clk2, "after-"+stage, 6)
+			proof, err := l2.GetConsistencyProof(sth.TreeHead.TreeSize, next.TreeHead.TreeSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verifyConsistencyForTest(sth, next, proof); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTiledCorruptTileFailsReads proves tile verification actually
+// gates serving: flipping one byte of a sealed hash tile makes reads of
+// that tile fail with ErrCorrupt (never silently serve bytes the tree
+// did not commit to), while the resident tail keeps serving.
+func TestTiledCorruptTileFailsReads(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 4, SnapshotEvery: -1, PageCacheBytes: -1})
+	defer l.Close()
+	sth := fillAndPublish(t, l, clk, "corrupt", 9)
+
+	hashPath := filepath.Join(dir, storage.TilesDirName, fmt.Sprintf("%016x.%s", 0, storage.TileExtHash))
+	data, err := os.ReadFile(hashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x40
+	if err := os.WriteFile(hashPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// PageCacheBytes < 0 disables retention, so this read hits the
+	// corrupted file rather than a cached page.
+	if _, err := l.GetEntries(0, 3); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("reading a corrupted tile: err=%v, want ErrCorrupt", err)
+	}
+	// The resident tail is unaffected.
+	if page, err := l.GetEntries(8, sth.TreeHead.TreeSize-1); err != nil || len(page) != 1 {
+		t.Fatalf("tail read after tile corruption: %d entries, err=%v", len(page), err)
+	}
+}
+
+// TestTiledColdCachePassThrough pins the PageCacheBytes<0 contract used
+// by the cold benchmarks: every sealed read pages in from disk, and the
+// cache retains nothing.
+func TestTiledColdCachePassThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{TileSpan: 4, SnapshotEvery: -1, PageCacheBytes: -1})
+	defer l.Close()
+	fillAndPublish(t, l, clk, "cold", 8)
+	for i := 0; i < 3; i++ {
+		if _, err := l.GetEntries(0, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.CacheStats()
+	if s.Pages != 0 || s.Used != 0 {
+		t.Fatalf("pass-through cache retained %d pages / %d bytes", s.Pages, s.Used)
+	}
+	if s.Hits != 0 {
+		t.Fatalf("pass-through cache reported %d hits", s.Hits)
+	}
+}

@@ -62,7 +62,7 @@ var logSpecs = []logSpec{
 // A non-empty dataDir makes every log durable in its own subdirectory
 // (resuming from existing state on reopen), with WAL fsyncs batched at
 // the sequencing barriers — the replay's natural durability unit.
-func buildLogs(clock *Clock, nimbusCapacity float64, dataDir string) (map[string]*ctlog.Log, error) {
+func buildLogs(clock *Clock, nimbusCapacity float64, dataDir string, tileSpan int) (map[string]*ctlog.Log, error) {
 	out := make(map[string]*ctlog.Log, len(logSpecs))
 	for _, spec := range logSpecs {
 		cfg := ctlog.Config{
@@ -82,6 +82,7 @@ func buildLogs(clock *Clock, nimbusCapacity float64, dataDir string) (map[string
 		)
 		if dataDir != "" {
 			cfg.Sync = ctlog.SyncAtSequence
+			cfg.TileSpan = tileSpan
 			l, err = ctlog.Open(filepath.Join(dataDir, logDirName(spec.name)), cfg)
 		} else {
 			l, err = ctlog.New(cfg)

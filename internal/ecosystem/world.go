@@ -45,6 +45,12 @@ type Config struct {
 	// barriers, not per submission — because the replay's durability
 	// unit is the day batch. Empty means in-memory logs (the default).
 	DataDir string
+	// TileSpan overrides the sealed-tile span of durable logs (entries
+	// per immutable on-disk tile; power of two ≥ 2, 0 = ctlog default).
+	// Only meaningful with DataDir: in-memory logs never seal. Small
+	// spans force frequent sealing and are the equivalence tests' way of
+	// exercising the tiled path at replay scale.
+	TileSpan int
 	// UseFrontend routes every timeline issuance through a multi-log
 	// submission frontend (internal/ctfront) over all of the world's
 	// logs instead of each CA's own log policy: the frontend picks a
@@ -108,7 +114,7 @@ func New(cfg Config) (*World, error) {
 		PSL:   psl.Default(),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
-	logs, err := buildLogs(w.Clock, cfg.NimbusCapacity, cfg.DataDir)
+	logs, err := buildLogs(w.Clock, cfg.NimbusCapacity, cfg.DataDir, cfg.TileSpan)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,282 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// treeSource serves pruned nodes out of a fully materialized reference
+// Tree — the test stand-in for the on-disk tile files. It counts lookups
+// so tests can prove the sealed region is actually served from the
+// source rather than from RAM.
+type treeSource struct {
+	ref     *Tree
+	lookups int
+}
+
+func (s *treeSource) Node(level int, index uint64) (Hash, error) {
+	s.lookups++
+	if level >= len(s.ref.levels) || index >= uint64(len(s.ref.levels[level])) {
+		return Hash{}, fmt.Errorf("treeSource: no node at level %d index %d", level, index)
+	}
+	return s.ref.levels[level][index], nil
+}
+
+func testLeaf(i int) []byte {
+	return []byte(fmt.Sprintf("leaf-%d", i))
+}
+
+// buildRef returns a reference Tree over n test leaves.
+func buildRef(n int) *Tree {
+	ref := New()
+	for i := 0; i < n; i++ {
+		ref.AppendData(testLeaf(i))
+	}
+	return ref
+}
+
+// requireSameProofs asserts that the tiled tree serves byte-identical
+// roots, inclusion proofs, and consistency proofs to the reference tree
+// at tree size n.
+func requireSameProofs(t *testing.T, ref *Tree, tt *TiledTree, n uint64) {
+	t.Helper()
+	wantRoot, err := ref.RootAt(n)
+	if err != nil {
+		t.Fatalf("ref.RootAt(%d): %v", n, err)
+	}
+	gotRoot, err := tt.RootAt(n)
+	if err != nil {
+		t.Fatalf("tiled.RootAt(%d): %v", n, err)
+	}
+	if gotRoot != wantRoot {
+		t.Fatalf("RootAt(%d): tiled %s != tree %s", n, gotRoot, wantRoot)
+	}
+	for i := uint64(0); i < n; i++ {
+		want, err := ref.InclusionProof(i, n)
+		if err != nil {
+			t.Fatalf("ref.InclusionProof(%d, %d): %v", i, n, err)
+		}
+		got, err := tt.InclusionProof(i, n)
+		if err != nil {
+			t.Fatalf("tiled.InclusionProof(%d, %d): %v", i, n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("InclusionProof(%d, %d): %d nodes, want %d", i, n, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("InclusionProof(%d, %d)[%d] differs", i, n, j)
+			}
+		}
+		lh, err := tt.LeafHash(i)
+		if err != nil {
+			t.Fatalf("tiled.LeafHash(%d): %v", i, err)
+		}
+		if err := VerifyInclusion(lh, i, n, got, wantRoot); err != nil {
+			t.Fatalf("tiled proof (%d, %d) does not verify: %v", i, n, err)
+		}
+	}
+	for m := uint64(1); m <= n; m++ {
+		want, err := ref.ConsistencyProof(m, n)
+		if err != nil {
+			t.Fatalf("ref.ConsistencyProof(%d, %d): %v", m, n, err)
+		}
+		got, err := tt.ConsistencyProof(m, n)
+		if err != nil {
+			t.Fatalf("tiled.ConsistencyProof(%d, %d): %v", m, n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ConsistencyProof(%d, %d): %d nodes, want %d", m, n, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("ConsistencyProof(%d, %d)[%d] differs", m, n, j)
+			}
+		}
+		oldRoot, _ := ref.RootAt(m)
+		if err := VerifyConsistency(m, n, oldRoot, wantRoot, got); err != nil {
+			t.Fatalf("tiled consistency (%d, %d) does not verify: %v", m, n, err)
+		}
+	}
+}
+
+// TestTiledUnsealedMatchesTree: a TiledTree that is never sealed is
+// byte-for-byte equivalent to Tree — the property that lets the same
+// type back in-memory logs.
+func TestTiledUnsealedMatchesTree(t *testing.T) {
+	const n = 67
+	ref := buildRef(n)
+	tt, err := NewTiled(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want, _ := ref.LeafHash(uint64(i))
+		if got := tt.AppendLeafHash(want); got != uint64(i) {
+			t.Fatalf("AppendLeafHash returned index %d, want %d", got, i)
+		}
+	}
+	requireSameProofs(t, ref, tt, n)
+	root, err := tt.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != ref.Root() {
+		t.Fatal("Root differs from Tree")
+	}
+}
+
+// TestTiledSealedMatchesTree: sealing at every reachable boundary while
+// appending must not change any root or proof, across several spans and
+// both aligned and ragged final sizes.
+func TestTiledSealedMatchesTree(t *testing.T) {
+	const n = 73
+	ref := buildRef(n)
+	for _, span := range []uint64{2, 4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("span=%d", span), func(t *testing.T) {
+			src := &treeSource{ref: ref}
+			tt, err := NewTiled(span, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < n; i++ {
+				lh, _ := ref.LeafHash(i)
+				tt.AppendLeafHash(lh)
+				// Seal the longest aligned prefix after every append —
+				// the most adversarial schedule.
+				if err := tt.Seal(tt.Size() / span * span); err != nil {
+					t.Fatalf("Seal at size %d: %v", tt.Size(), err)
+				}
+			}
+			if want := uint64(n) / span * span; tt.Sealed() != want {
+				t.Fatalf("Sealed() = %d, want %d", tt.Sealed(), want)
+			}
+			requireSameProofs(t, ref, tt, n)
+			if tt.Sealed() > 0 && src.lookups == 0 {
+				t.Fatal("no NodeSource lookups: sealed region was not actually pruned")
+			}
+			// Tile roots must match the reference subtree roots.
+			for tile := uint64(0); (tile+1)*span <= n; tile++ {
+				got, err := tt.TileRoot(tile)
+				if err != nil {
+					t.Fatalf("TileRoot(%d): %v", tile, err)
+				}
+				if want := ref.subtreeRoot(tile*span, (tile+1)*span); got != want {
+					t.Fatalf("TileRoot(%d) differs from reference", tile)
+				}
+			}
+		})
+	}
+}
+
+// TestTiledAppendSealedTile: rebuilding a tree from recorded tile roots
+// plus a replayed tail (the recovery path) yields the same tree as
+// appending every leaf.
+func TestTiledAppendSealedTile(t *testing.T) {
+	const n = 61
+	const span = 8
+	ref := buildRef(n)
+	src := &treeSource{ref: ref}
+	tt, err := NewTiled(span, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := uint64(n) / span
+	for tile := uint64(0); tile < tiles; tile++ {
+		root := ref.subtreeRoot(tile*span, (tile+1)*span)
+		if err := tt.AppendSealedTile(root); err != nil {
+			t.Fatalf("AppendSealedTile(%d): %v", tile, err)
+		}
+	}
+	if tt.Size() != tiles*span || tt.Sealed() != tiles*span {
+		t.Fatalf("size/sealed = %d/%d, want %d", tt.Size(), tt.Sealed(), tiles*span)
+	}
+	for i := tiles * span; i < n; i++ {
+		lh, _ := ref.LeafHash(i)
+		tt.AppendLeafHash(lh)
+	}
+	requireSameProofs(t, ref, tt, n)
+
+	// With a mutable tail present, AppendSealedTile must refuse.
+	if err := tt.AppendSealedTile(Hash{}); err == nil {
+		t.Fatal("AppendSealedTile with unsealed tail succeeded")
+	}
+}
+
+// TestTiledSealValidation pins the Seal/NewTiled error contract.
+func TestTiledSealValidation(t *testing.T) {
+	if _, err := NewTiled(0, nil); err == nil {
+		t.Fatal("NewTiled(0) succeeded")
+	}
+	if _, err := NewTiled(3, nil); err == nil {
+		t.Fatal("NewTiled(3) succeeded")
+	}
+	if _, err := NewTiled(1, nil); err == nil {
+		t.Fatal("NewTiled(1) succeeded")
+	}
+	tt, err := NewTiled(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tt.AppendData(testLeaf(i))
+	}
+	if err := tt.Seal(3); err == nil {
+		t.Fatal("misaligned seal succeeded")
+	}
+	if err := tt.Seal(12); err == nil {
+		t.Fatal("seal beyond size succeeded")
+	}
+	if err := tt.Seal(4); err == nil {
+		t.Fatal("seal without a node source succeeded")
+	}
+	if err := tt.Seal(0); err != nil {
+		t.Fatalf("no-op seal failed: %v", err)
+	}
+}
+
+// TestTiledSourceErrorPropagates: IO failures from the NodeSource must
+// surface as errors from proof computation, not wrong hashes or panics.
+func TestTiledSourceErrorPropagates(t *testing.T) {
+	const n = 16
+	const span = 4
+	ref := buildRef(n)
+	srcErr := errors.New("disk on fire")
+	fail := false
+	src := &funcSource{fn: func(level int, index uint64) (Hash, error) {
+		if fail {
+			return Hash{}, srcErr
+		}
+		return (&treeSource{ref: ref}).Node(level, index)
+	}}
+	tt, err := NewTiled(span, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		lh, _ := ref.LeafHash(i)
+		tt.AppendLeafHash(lh)
+	}
+	if err := tt.Seal(n); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	if _, err := tt.InclusionProof(0, n); !errors.Is(err, srcErr) {
+		t.Fatalf("InclusionProof error = %v, want wrapped source error", err)
+	}
+	if _, err := tt.LeafHash(2); !errors.Is(err, srcErr) {
+		t.Fatalf("LeafHash error = %v, want wrapped source error", err)
+	}
+	// The spine is resident: the full root must still compute. (Root over
+	// the whole sealed tree touches only spine nodes.)
+	if _, err := tt.Root(); err != nil {
+		t.Fatalf("Root() should not need the source for a power-of-two sealed tree: %v", err)
+	}
+}
+
+type funcSource struct {
+	fn func(level int, index uint64) (Hash, error)
+}
+
+func (s *funcSource) Node(level int, index uint64) (Hash, error) { return s.fn(level, index) }
