@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/load"
+	"ctrise/internal/sct"
+)
+
+// benchServer is one in-process log exposed over a real loopback
+// socket, with a wall-clock sequencer. Close cancels the sequencer and
+// shuts the listener down.
+type benchServer struct {
+	log *ctlog.Log
+	srv *httptest.Server
+}
+
+// newBenchServer returns the server and a stopSeq function that halts
+// the wall-clock sequencer (idempotent; also run at cleanup). Stopping
+// the sequencer lets a benchmark take over sequencing manually without
+// racing the ticker.
+func newBenchServer(t *testing.T, cfg ctlog.Config, interval time.Duration) (*benchServer, func()) {
+	t.Helper()
+	if cfg.Name == "" {
+		cfg.Name = "ctload bench log"
+	}
+	cfg.Signer = sct.NewFastSigner(cfg.Name)
+	l, err := ctlog.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(l.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.RunSequencer(ctx, interval) }()
+	var stopped sync.Once
+	stopSeq := func() {
+		stopped.Do(func() {
+			cancel()
+			if err := <-done; !errors.Is(err, context.Canceled) {
+				t.Errorf("sequencer exit: %v", err)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		stopSeq()
+		srv.Close()
+	})
+	return &benchServer{log: l, srv: srv}, stopSeq
+}
+
+// The harness must complete requests in every workload class against a
+// live server over real sockets — the in-repo version of the CI smoke.
+func TestHarnessCompletesAllClasses(t *testing.T) {
+	bs, _ := newBenchServer(t, ctlog.Config{}, 20*time.Millisecond)
+	h, err := newHarness(context.Background(), bs.srv.URL, "", 4, 7, 128, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := load.ParseMix("add=1,sth=2,entries=2,proof=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := load.Run(context.Background(), load.Options{
+		Conns: 4, Duration: 400 * time.Millisecond, Mix: mix, Seed: 7,
+	}, h.ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, or := range res.SortedOps() {
+		if or.Requests == 0 {
+			t.Errorf("class %q completed zero requests", or.Op)
+		}
+		if or.Errors != 0 {
+			t.Errorf("class %q: %d errors", or.Op, or.Errors)
+		}
+	}
+}
+
+// starvationRun measures reader latency for requests issued while one
+// large staged batch integrates. The measurement window is exactly the
+// Sequence call: reader goroutines start issuing requests over the
+// socket when integration starts and stop when it returns (in-flight
+// requests complete and still count, blocked time included), so the
+// histograms are undiluted by idle time around the window — the
+// pre-chunking sequencer shows up as proof latencies the length of the
+// whole integration, not as a tail quantile drowned by fast requests.
+func starvationRun(t *testing.T, chunk int, entries int) (integrateMS float64, classes map[string]jsonOpResult) {
+	t.Helper()
+	bs, stopSeq := newBenchServer(t, ctlog.Config{SequenceChunk: chunk}, 10*time.Millisecond)
+	h, err := newHarness(context.Background(), bs.srv.URL, "", 8, 13, 128, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warmup sequencer must not race the measured integration:
+	// stage the big batch only after it has drained and stopped.
+	stopSeq()
+	for i := 0; i < entries; i++ {
+		cert := warmupCert(1<<40+int64(i), i, 96)
+		if _, err := bs.log.AddChain(cert); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	ops := h.ops()
+	// Dedicated readers per class: get-sth and get-entries serve the
+	// lock-free published snapshot; get-proof takes the read lock and is
+	// the class chunking exists for.
+	workers := []struct {
+		op load.Op
+		n  int
+	}{
+		{load.OpGetSTH, 2},
+		{load.OpGetEntries, 2},
+		{load.OpGetProof, 4},
+	}
+	stop := make(chan struct{})
+	type reader struct {
+		op   load.Op
+		hist *load.Histogram
+		errs uint64
+	}
+	var wg sync.WaitGroup
+	var readers []*reader
+	for w, spec := range workers {
+		for i := 0; i < spec.n; i++ {
+			r := &reader{op: spec.op, hist: &load.Histogram{}}
+			readers = append(readers, r)
+			rng := rand.New(rand.NewSource(int64(100*w + i)))
+			wg.Add(1)
+			go func(r *reader) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t0 := time.Now()
+					if err := ops[r.op](ctx, rng); err != nil {
+						r.errs++
+					}
+					r.hist.Record(time.Since(t0))
+				}
+			}(r)
+		}
+	}
+
+	t0 := time.Now()
+	if _, err := bs.log.Sequence(); err != nil {
+		t.Fatal(err)
+	}
+	integrate := time.Since(t0)
+	close(stop)
+	wg.Wait()
+
+	classes = make(map[string]jsonOpResult, len(workers))
+	for _, spec := range workers {
+		agg := jsonOpResult{}
+		hist := &load.Histogram{}
+		for _, r := range readers {
+			if r.op != spec.op {
+				continue
+			}
+			hist.Merge(r.hist)
+			agg.Errors += r.errs
+		}
+		agg.Requests = hist.Count()
+		agg.Latency = hist.Summarize()
+		if agg.Requests == 0 {
+			t.Fatalf("starvation run: class %q completed zero requests", spec.op)
+		}
+		classes[string(spec.op)] = agg
+	}
+	return float64(integrate) / float64(time.Millisecond), classes
+}
+
+// TestWriteBenchLoad regenerates BENCH_load.json at the repository
+// root: per-class latency for the standard mixed workload over real
+// sockets, plus the reader-starvation comparison that motivated chunked
+// sequencing — reader p99 while a large staged batch integrates, with
+// chunking disabled versus the default chunk size.
+//
+//	UPDATE_BENCH_LOAD=1 go test -run TestWriteBenchLoad -timeout 10m ./cmd/ctload
+func TestWriteBenchLoad(t *testing.T) {
+	if os.Getenv("UPDATE_BENCH_LOAD") != "1" {
+		t.Skip("set UPDATE_BENCH_LOAD=1 to regenerate BENCH_load.json")
+	}
+	const starveEntries = 500_000
+
+	// Section 1: the standard mixed workload, closed loop.
+	bs, stopSeq := newBenchServer(t, ctlog.Config{}, 100*time.Millisecond)
+	h, err := newHarness(context.Background(), bs.srv.URL, "", 16, 1, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := load.ParseMix("add=1,sth=4,entries=8,proof=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := load.Run(context.Background(), load.Options{
+		Conns: 16, Duration: 5 * time.Second, Mix: mix, Seed: 1,
+	}, h.ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := map[string]jsonOpResult{}
+	for _, or := range res.SortedOps() {
+		workload[string(or.Op)] = jsonOpResult{
+			Requests: or.Requests, Errors: or.Errors, Latency: or.Hist.Summarize(),
+		}
+	}
+	stopSeq()
+
+	// Section 2: reader p99 under large-batch integration, unchunked
+	// (the pre-chunking sequencer: whole batch under one lock hold)
+	// versus the default chunk.
+	unchunkedMS, unchunked := starvationRun(t, -1, starveEntries)
+	chunkedMS, chunked := starvationRun(t, 0, starveEntries)
+
+	out := map[string]any{
+		"schema":          "ctrise/bench-load/v1",
+		"regenerate_with": "UPDATE_BENCH_LOAD=1 go test -run TestWriteBenchLoad -timeout 10m ./cmd/ctload",
+		"config": map[string]any{
+			"conns":              16,
+			"duration_seconds":   5,
+			"mix":                "add=1,sth=4,entries=8,proof=2",
+			"cert_bytes":         256,
+			"starvation_entries": starveEntries,
+			"starvation_readers": "sth=2,entries=2,proof=4",
+			"starvation_conns":   8,
+		},
+		"workload": map[string]any{
+			"requests":       res.Requests,
+			"errors":         res.Errors,
+			"throughput_rps": res.Throughput(),
+			"classes":        workload,
+		},
+		"reader_starvation": map[string]any{
+			"unchunked": map[string]any{
+				"sequence_chunk": -1,
+				"integrate_ms":   unchunkedMS,
+				"classes":        unchunked,
+			},
+			"chunked": map[string]any{
+				"sequence_chunk": ctlog.DefaultSequenceChunk,
+				"integrate_ms":   chunkedMS,
+				"classes":        chunked,
+			},
+		},
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_load.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unchunked: integrate %.0fms, proof p99 %.2fms", unchunkedMS, unchunked["get-proof"].Latency.P99MS)
+	t.Logf("chunked:   integrate %.0fms, proof p99 %.2fms", chunkedMS, chunked["get-proof"].Latency.P99MS)
+}

@@ -1,0 +1,422 @@
+// Command ctload is a closed-loop HTTP load generator for the CT stack:
+// it drives a ctlogd (and optionally a ctfront) over real sockets with a
+// configurable connection count and workload mix, and reports HDR-style
+// latency histograms (p50/p99/p999) per workload class.
+//
+// Usage:
+//
+//	ctload -target http://127.0.0.1:8764 [-front http://127.0.0.1:8790]
+//	       [-conns 16] [-duration 10s] [-mix add=1,sth=4,entries=8,proof=2]
+//	       [-qps 0] [-seed 1] [-cert-bytes 256] [-warmup 64] [-json out.json]
+//	       [-search] [-search-min 100] [-search-max 50000] [-slo-p99 100ms] [-trial 3s]
+//
+// -target is the ct/v1 base URL; every read class (get-sth, get-entries,
+// get-proof) and, by default, add-chain go there. With -front set,
+// add-chain is redirected to the frontend's /ctfront/v1/add-chain — the
+// mixed read/write workload then exercises the full production path:
+// frontend admission and fan-out for writes, the log's published-state
+// snapshot for reads.
+//
+// The default mode is closed-loop: each connection issues its next
+// request the moment the previous one returns, measuring the target's
+// capacity. -qps paces the aggregate offered rate instead (open-ish
+// loop, degrading to closed when the target can't keep up). -search
+// binary-searches the highest paced rate the target sustains while
+// completing ≥90% of offered load, erroring ≤1%, and keeping every
+// class's p99 inside -slo-p99.
+//
+// Errors (non-2xx, including 429 backpressure) are counted per class,
+// not fatal: shed load under overload is a measurement, not a harness
+// failure. The process exits nonzero only on misconfiguration or when a
+// workload class completes zero requests — the smoke-test contract.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ctrise/internal/ctlog"
+	"ctrise/internal/load"
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+func main() {
+	target := flag.String("target", "", "ct/v1 base URL of the log under test (required)")
+	front := flag.String("front", "", "optional ctfront base URL; add-chain goes here instead of -target")
+	conns := flag.Int("conns", 16, "concurrent connections (workers)")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	mixSpec := flag.String("mix", "add=1,sth=4,entries=8,proof=2", "workload mix as class=weight, classes: add, sth, entries, proof")
+	qps := flag.Float64("qps", 0, "paced aggregate request rate (0 = closed-loop)")
+	seed := flag.Int64("seed", 1, "rng seed for payloads and parameters")
+	certBytes := flag.Int("cert-bytes", 256, "random certificate payload size for add-chain")
+	warmup := flag.Int("warmup", 64, "entries submitted and published before measuring (read-op targets)")
+	jsonOut := flag.String("json", "", "write the run result as JSON to this path")
+	search := flag.Bool("search", false, "binary-search the highest sustained paced rate instead of one run")
+	searchMin := flag.Float64("search-min", 100, "search floor (qps)")
+	searchMax := flag.Float64("search-max", 50000, "search ceiling (qps)")
+	sloP99 := flag.Duration("slo-p99", 100*time.Millisecond, "per-class p99 ceiling a search trial must meet")
+	trial := flag.Duration("trial", 3*time.Second, "search trial length")
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("ctload: -target is required")
+	}
+	mix, err := load.ParseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	h, err := newHarness(ctx, *target, *front, *conns, *seed, *certBytes, *warmup)
+	if err != nil {
+		log.Fatalf("ctload: warmup: %v", err)
+	}
+	opts := load.Options{
+		Conns:    *conns,
+		Duration: *duration,
+		Mix:      mix,
+		QPS:      *qps,
+		Seed:     *seed,
+	}
+
+	if *search {
+		sres, err := load.SearchSustainedQPS(ctx, opts, h.ops(), load.SearchOptions{
+			MinQPS:        *searchMin,
+			MaxQPS:        *searchMax,
+			TrialDuration: *trial,
+			P99SLO:        *sloP99,
+			OnTrial: func(q float64, res load.Result, ok bool) {
+				verdict := "FAIL"
+				if ok {
+					verdict = "ok"
+				}
+				fmt.Printf("trial %8.0f qps: completed %8.0f/s errors %d  %s\n",
+					q, res.Throughput(), res.Errors, verdict)
+			},
+		})
+		if err != nil {
+			log.Fatalf("ctload: search: %v", err)
+		}
+		fmt.Printf("\nsustained: %.0f qps over %d trials (p99 SLO %v)\n",
+			sres.SustainedQPS, sres.Trials, *sloP99)
+		printResult(sres.Best)
+		if *jsonOut != "" {
+			writeJSONResult(*jsonOut, *target, opts, sres.Best, &sres)
+		}
+		return
+	}
+
+	res, err := load.Run(ctx, opts, h.ops())
+	if err != nil {
+		log.Fatalf("ctload: %v", err)
+	}
+	printResult(res)
+	if *jsonOut != "" {
+		writeJSONResult(*jsonOut, *target, opts, res, nil)
+	}
+	for _, or := range res.SortedOps() {
+		if or.Requests == 0 {
+			log.Fatalf("ctload: workload class %q completed zero requests", or.Op)
+		}
+	}
+}
+
+func printResult(res load.Result) {
+	fmt.Printf("elapsed %v, %d requests (%.0f/s), %d errors\n",
+		res.Elapsed.Round(time.Millisecond), res.Requests, res.Throughput(), res.Errors)
+	for _, or := range res.SortedOps() {
+		fmt.Printf("  %-12s %s errors=%d\n", or.Op, or.Hist, or.Errors)
+	}
+}
+
+// jsonResult is ctload's -json schema; the CI smoke asserts its shape.
+type jsonResult struct {
+	Schema     string                  `json:"schema"`
+	Target     string                  `json:"target"`
+	Conns      int                     `json:"conns"`
+	DurationMS float64                 `json:"duration_ms"`
+	QPS        float64                 `json:"qps,omitempty"`
+	Requests   uint64                  `json:"requests"`
+	Errors     uint64                  `json:"errors"`
+	Throughput float64                 `json:"throughput_rps"`
+	Classes    map[string]jsonOpResult `json:"classes"`
+	Search     *jsonSearch             `json:"search,omitempty"`
+}
+
+type jsonOpResult struct {
+	Requests uint64       `json:"requests"`
+	Errors   uint64       `json:"errors"`
+	Latency  load.Summary `json:"latency"`
+}
+
+type jsonSearch struct {
+	SustainedQPS float64 `json:"sustained_qps"`
+	Trials       int     `json:"trials"`
+}
+
+func writeJSONResult(path, target string, opts load.Options, res load.Result, sres *load.SearchResult) {
+	out := jsonResult{
+		Schema:     "ctrise/ctload/v1",
+		Target:     target,
+		Conns:      opts.Conns,
+		DurationMS: float64(res.Elapsed) / float64(time.Millisecond),
+		QPS:        opts.QPS,
+		Requests:   res.Requests,
+		Errors:     res.Errors,
+		Throughput: res.Throughput(),
+		Classes:    make(map[string]jsonOpResult, len(res.Ops)),
+	}
+	for _, or := range res.SortedOps() {
+		out.Classes[string(or.Op)] = jsonOpResult{
+			Requests: or.Requests,
+			Errors:   or.Errors,
+			Latency:  or.Hist.Summarize(),
+		}
+	}
+	if sres != nil {
+		out.Search = &jsonSearch{SustainedQPS: sres.SustainedQPS, Trials: sres.Trials}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatalf("ctload: encoding result: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("ctload: writing %s: %v", path, err)
+	}
+}
+
+// harness holds the shared target state the op closures read: the HTTP
+// client (one transport sized for the connection count — real sockets,
+// kept alive across requests), the add-chain URL (log or frontend), and
+// the warmed-up read targets (published tree size, proof leaf hashes).
+type harness struct {
+	client    *http.Client
+	target    string
+	addURL    string
+	seed      int64
+	certBytes int
+
+	treeSize  atomic.Uint64 // refreshed by every get-sth op
+	proofSize uint64        // tree size the warmup proofs are anchored at
+	leaves    []merkle.Hash // published leaf hashes for get-proof
+}
+
+func newHarness(ctx context.Context, target, front string, conns int, seed int64, certBytes, warmup int) (*harness, error) {
+	for _, u := range []string{target, front} {
+		if u == "" {
+			continue
+		}
+		if _, err := url.Parse(u); err != nil {
+			return nil, fmt.Errorf("bad URL %q: %w", u, err)
+		}
+	}
+	h := &harness{
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        conns + 4,
+				MaxIdleConnsPerHost: conns + 4,
+			},
+		},
+		target:    strings.TrimRight(target, "/"),
+		seed:      seed,
+		certBytes: certBytes,
+	}
+	h.addURL = h.target + "/ct/v1/add-chain"
+	if front != "" {
+		h.addURL = strings.TrimRight(front, "/") + "/ctfront/v1/add-chain"
+	}
+	return h, h.warmup(ctx, warmup)
+}
+
+// warmup submits `n` certificates directly to the log and waits for an
+// STH covering them, so the read classes have real targets: get-entries
+// needs a nonempty tree, get-proof needs leaf hashes the log has
+// published. The warmup certs are derived from the seed, so repeated
+// runs against a durable log dedupe instead of growing it.
+func (h *harness) warmup(ctx context.Context, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	certs := make([][]byte, n)
+	hashes := make([]merkle.Hash, n)
+	for i := range certs {
+		certs[i] = warmupCert(h.seed, i, h.certBytes)
+	}
+	for i, cert := range certs {
+		ts, err := h.addChainTo(ctx, h.target+"/ct/v1/add-chain", cert)
+		if err != nil {
+			return fmt.Errorf("submitting warmup entry %d: %w", i, err)
+		}
+		e := ctlog.Entry{Timestamp: ts, Type: sct.X509LogEntryType, Cert: cert}
+		hash, err := e.LeafHash()
+		if err != nil {
+			return err
+		}
+		hashes[i] = hash
+	}
+	// Wait out the sequencer: the warmup entries are published once an
+	// STH covers them (dedupe means resubmitted entries may already be).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		size, err := h.getSTH(ctx)
+		if err == nil && size >= uint64(n) {
+			// Verify one warmup proof actually resolves before trusting
+			// the whole set: on a log that already contained entries,
+			// size alone does not prove ours are in.
+			if err := h.getProof(ctx, hashes[0], size); err == nil {
+				h.proofSize = size
+				h.leaves = hashes
+				h.treeSize.Store(size)
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("warmup entries never published (last STH size %d)", h.treeSize.Load())
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// warmupCert derives a deterministic unique certificate payload.
+func warmupCert(seed int64, i, size int) []byte {
+	if size < 48 {
+		size = 48
+	}
+	cert := make([]byte, size)
+	copy(cert, "ctload-warmup-")
+	binary.BigEndian.PutUint64(cert[16:], uint64(seed))
+	binary.BigEndian.PutUint64(cert[24:], uint64(i))
+	rng := rand.New(rand.NewSource(seed ^ int64(i)<<20))
+	rng.Read(cert[32:])
+	return cert
+}
+
+// randomCert builds one load-phase certificate payload from the worker
+// rng: unique with overwhelming probability, so add-chain measures the
+// staging path, not the dedupe shortcut.
+func (h *harness) randomCert(rng *rand.Rand) []byte {
+	size := h.certBytes
+	if size < 16 {
+		size = 16
+	}
+	cert := make([]byte, size)
+	rng.Read(cert)
+	copy(cert, "ctload-")
+	return cert
+}
+
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// addChainTo submits one certificate and returns the SCT timestamp.
+func (h *harness) addChainTo(ctx context.Context, url string, cert []byte) (uint64, error) {
+	body, _ := json.Marshal(ctlog.AddChainRequest{
+		Chain: []string{base64.StdEncoding.EncodeToString(cert)},
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("add-chain: HTTP %d", resp.StatusCode)
+	}
+	var sctResp ctlog.AddChainResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sctResp); err != nil {
+		return 0, fmt.Errorf("add-chain: decoding SCT: %w", err)
+	}
+	return sctResp.Timestamp, nil
+}
+
+func (h *harness) get(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(out)
+}
+
+func (h *harness) getSTH(ctx context.Context) (uint64, error) {
+	var sth ctlog.GetSTHResponse
+	if err := h.get(ctx, h.target+"/ct/v1/get-sth", &sth); err != nil {
+		return 0, err
+	}
+	h.treeSize.Store(sth.TreeSize)
+	return sth.TreeSize, nil
+}
+
+func (h *harness) getProof(ctx context.Context, leaf merkle.Hash, treeSize uint64) error {
+	u := fmt.Sprintf("%s/ct/v1/get-proof-by-hash?hash=%s&tree_size=%d",
+		h.target, url.QueryEscape(base64.StdEncoding.EncodeToString(leaf[:])), treeSize)
+	var proof ctlog.GetProofByHashResponse
+	return h.get(ctx, u, &proof)
+}
+
+// ops builds the OpFunc table the load driver fans out over workers.
+func (h *harness) ops() map[load.Op]load.OpFunc {
+	return map[load.Op]load.OpFunc{
+		load.OpAddChain: func(ctx context.Context, rng *rand.Rand) error {
+			_, err := h.addChainTo(ctx, h.addURL, h.randomCert(rng))
+			return err
+		},
+		load.OpGetSTH: func(ctx context.Context, rng *rand.Rand) error {
+			_, err := h.getSTH(ctx)
+			return err
+		},
+		load.OpGetEntries: func(ctx context.Context, rng *rand.Rand) error {
+			size := h.treeSize.Load()
+			if size == 0 {
+				size = 1
+			}
+			start := uint64(rng.Int63n(int64(size)))
+			u := fmt.Sprintf("%s/ct/v1/get-entries?start=%d&end=%d", h.target, start, start+31)
+			var entries ctlog.GetEntriesResponse
+			return h.get(ctx, u, &entries)
+		},
+		load.OpGetProof: func(ctx context.Context, rng *rand.Rand) error {
+			leaf := h.leaves[rng.Intn(len(h.leaves))]
+			return h.getProof(ctx, leaf, h.proofSize)
+		},
+	}
+}

@@ -71,6 +71,7 @@ func main() {
 	tileSpan := flag.Int("tile-span", 0, "entries per sealed storage tile, power of two ≥ 2 (0 = default 1024); fixed at first start, requires -data-dir")
 	pageCache := flag.Int64("page-cache", 0, "tile page-cache budget in bytes (0 = default 64 MiB, negative = uncached reads); requires -data-dir")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight submissions on shutdown (new ones get 503 + Retry-After immediately)")
+	sequenceChunk := flag.Int("sequence-chunk", 0, "entries integrated per lock hold during sequencing (0 = default 1024, negative = whole batch under one hold)")
 	flag.Parse()
 	if *interval <= 0 {
 		log.Fatal("ctlogd: -sequence must be a positive duration")
@@ -83,6 +84,7 @@ func main() {
 		SnapshotEvery:     *snapshotEvery,
 		TileSpan:          *tileSpan,
 		PageCacheBytes:    *pageCache,
+		SequenceChunk:     *sequenceChunk,
 	}
 	var l *ctlog.Log
 	if *dataDir != "" {
@@ -157,7 +159,7 @@ func main() {
 		defer cancel()
 		server.Shutdown(shutCtx)
 		if seqDone != nil {
-			if err := <-seqDone; err != nil && !errors.Is(err, context.Canceled) {
+			if err := <-seqDone; err != nil && sequencerExitDirty(err) {
 				log.Printf("ctlogd: final sequence: %v", err)
 			}
 		}
@@ -174,12 +176,26 @@ func main() {
 		if err != nil && !errors.Is(err, context.Canceled) {
 			log.Fatalf("sequencer: %v", err)
 		}
+		if err != nil && sequencerExitDirty(err) {
+			// Canceled, but the final drain failed: acknowledged
+			// submissions are still staged (durably, with -data-dir).
+			log.Printf("ctlogd: final sequence: %v", err)
+		}
 		// Canceled: the signal landed and the sequencer's exit won the
 		// select race against ctx.Done(); drain exactly as below.
 		drainServer(nil)
 	case <-ctx.Done():
 		drainServer(seqDone)
 	}
+}
+
+// sequencerExitDirty reports whether a RunSequencer exit error is worth
+// an operator's attention: anything other than a clean cancellation.
+// A joined Canceled+ErrDrainIncomplete error still Is(Canceled), so a
+// plain Canceled check would silently swallow the "entries left staged"
+// signal.
+func sequencerExitDirty(err error) bool {
+	return !errors.Is(err, context.Canceled) || errors.Is(err, ctlog.ErrDrainIncomplete)
 }
 
 // loadOrCreateSigner returns the durable log's ECDSA P-256 signer,

@@ -159,7 +159,12 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return ctlog.ErrOverloaded
+		// The log's explicit backpressure signal: keep ErrOverloaded
+		// reachable for errors.Is (callers model overload on it) while the
+		// wrapped StatusError carries the server's Retry-After hint — the
+		// sequencer-interval-derived backoff a well-behaved submitter
+		// should apply before re-offering the load.
+		return fmt.Errorf("%w: %w", ctlog.ErrOverloaded, statusError(resp, path))
 	}
 	if resp.StatusCode != http.StatusOK {
 		return statusError(resp, path)

@@ -323,3 +323,42 @@ func TestMonitorRetryHonorsRetryAfterHint(t *testing.T) {
 		t.Fatalf("get-sth hit %d times, want 2", n)
 	}
 }
+
+// A 429 must stay recognizable as ctlog.ErrOverloaded (callers model
+// overload on it) while now also carrying the log's derived Retry-After
+// hint through the wrapped StatusError — the sequencer interval, not the
+// old hardcoded 1s.
+func TestAddChainOverloadCarriesDerivedRetryAfter(t *testing.T) {
+	l, err := ctlog.New(ctlog.Config{
+		Name:              "Overloaded Log",
+		Signer:            sct.NewFastSigner("Overloaded Log"),
+		CapacityPerSecond: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Configure the sequencer interval the hint derives from; the
+	// canceled context stores it and exits without ticking.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.RunSequencer(ctx, 3*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+	c := New(srv.URL, l.Verifier())
+	if _, err := c.AddChain(context.Background(), []byte("fits the bucket")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.AddChain(context.Background(), []byte("over capacity"))
+	if !errors.Is(err, ctlog.ErrOverloaded) {
+		t.Fatalf("AddChain returned %v, want ErrOverloaded", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("AddChain returned %v, want a wrapped StatusError", err)
+	}
+	if se.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s (derived from the sequencer interval)", se.RetryAfter)
+	}
+}

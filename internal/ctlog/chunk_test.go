@@ -1,0 +1,320 @@
+package ctlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"ctrise/internal/ctlog/storage"
+	"ctrise/internal/merkle"
+)
+
+// Chunked sequencing exists so readers never wait behind a whole batch
+// integration. These tests pin the three properties that make it safe:
+// readers between chunks see exactly the published state (and can still
+// build proofs against it), the chunked tree is byte-identical to the
+// unchunked one, and durable recovery reproduces a chunked sequence even
+// when submissions raced the chunk gaps.
+
+// Readers arriving between integration chunks must be served the last
+// published state — same STH, same entries, working proofs — as if the
+// half-integrated batch did not exist.
+func TestSequenceChunkedReadersServedBetweenChunks(t *testing.T) {
+	l, clk := newTestLog(t, Config{SequenceChunk: 8})
+
+	// Publish an initial tree of 5 so the hook has real state to read.
+	for i := 0; i < 5; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("base-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(1)
+	}
+	sth0, err := l.PublishSTH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := l.GetEntries(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf0, err := base[0].LeafHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage a batch of 40; chunk 8 gives gaps after 8, 16, 24, 32.
+	for i := 0; i < 40; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("bulk-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(1)
+	}
+
+	var gaps []int
+	l.seqChunkHook = func(done, total int) {
+		gaps = append(gaps, done)
+		if total != 40 {
+			t.Errorf("hook total = %d, want the batch size 40", total)
+		}
+		// The published view must be exactly the pre-sequence state.
+		if sth := l.STH(); sth.TreeHead != sth0.TreeHead {
+			t.Errorf("mid-chunk STH moved: %+v", sth.TreeHead)
+		}
+		got, err := l.GetEntries(0, 100)
+		if err != nil {
+			t.Errorf("mid-chunk GetEntries: %v", err)
+		} else if len(got) != 5 {
+			t.Errorf("mid-chunk GetEntries returned %d entries, want 5", len(got))
+		}
+		// Proofs against the published size still verify even though the
+		// live tree has grown past it.
+		idx, proof, err := l.GetProofByHash(leaf0, sth0.TreeHead.TreeSize)
+		if err != nil {
+			t.Errorf("mid-chunk GetProofByHash: %v", err)
+			return
+		}
+		if err := merkle.VerifyInclusion(leaf0, idx, sth0.TreeHead.TreeSize, proof,
+			merkle.Hash(sth0.TreeHead.RootHash)); err != nil {
+			t.Errorf("mid-chunk proof does not verify: %v", err)
+		}
+	}
+	n, err := l.Sequence()
+	l.seqChunkHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("sequenced %d, want 40", n)
+	}
+	want := []int{8, 16, 24, 32}
+	if !slices.Equal(gaps, want) {
+		t.Fatalf("chunk gaps = %v, want %v", gaps, want)
+	}
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.STH().TreeHead.TreeSize; got != 45 {
+		t.Fatalf("published size = %d, want 45", got)
+	}
+}
+
+// The chunked tree must be byte-identical to the unchunked one: chunking
+// changes lock granularity, never the canonical batch order.
+func TestSequenceChunkedTreeIdentical(t *testing.T) {
+	build := func(chunk int) SignedTreeHead {
+		l, clk := newTestLog(t, Config{SequenceChunk: chunk})
+		for i := 0; i < 50; i++ {
+			if _, err := l.AddChain([]byte(fmt.Sprintf("ident-%02d", i))); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				clk.Advance(1)
+			}
+		}
+		sth, err := l.PublishSTH()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sth
+	}
+	whole := build(-1) // whole batch under one lock hold
+	for _, chunk := range []int{7, 16, 49, 50} {
+		if got := build(chunk); got.TreeHead != whole.TreeHead {
+			t.Fatalf("chunk=%d tree head %+v differs from unchunked %+v",
+				chunk, got.TreeHead, whole.TreeHead)
+		}
+	}
+}
+
+// Durable recovery of a chunked sequence with racing submissions: adds
+// that land in a chunk gap write their WAL records between the drained
+// batch and its seal. Recovery must assign the seal only its own batch
+// (the staged prefix its tree size accounts for) and leave the racers
+// staged — exactly the live log's state. The pre-chunking recovery
+// drained everything staged into the seal and failed with ErrCorrupt.
+func TestSequenceChunkedDurableRecoveryWithRacingAdds(t *testing.T) {
+	dir := t.TempDir()
+	l, clk := newDurableLog(t, dir, Config{SequenceChunk: 4})
+	for i := 0; i < 20; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("dur-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(1)
+	}
+	var race sync.Once
+	l.seqChunkHook = func(done, total int) {
+		race.Do(func() {
+			for i := 0; i < 3; i++ {
+				if _, err := l.AddChain([]byte(fmt.Sprintf("racer-%d", i))); err != nil {
+					t.Errorf("racing add: %v", err)
+				}
+			}
+		})
+	}
+	n, err := l.Sequence()
+	l.seqChunkHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("sequenced %d, want 20", n)
+	}
+	if got := l.PendingCount(); got != 3 {
+		t.Fatalf("pending = %d, want the 3 racers", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the Close-time snapshot so recovery must replay the WAL,
+	// where the racers' entry records sit between the batch and its seal.
+	if err := os.Remove(filepath.Join(dir, storage.SnapshotName)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, _ := newDurableLog(t, dir, Config{SequenceChunk: 4})
+	defer r.Close()
+	if got := r.TreeSize(); got != 20 {
+		t.Fatalf("recovered tree size = %d, want 20", got)
+	}
+	if got := r.PendingCount(); got != 3 {
+		t.Fatalf("recovered pending = %d, want the 3 racers", got)
+	}
+	// The racers sequence cleanly on the recovered log.
+	if n, err := r.Sequence(); err != nil || n != 3 {
+		t.Fatalf("sequencing recovered racers: n=%d err=%v", n, err)
+	}
+	if got := r.TreeSize(); got != 23 {
+		t.Fatalf("tree size after sequencing racers = %d, want 23", got)
+	}
+}
+
+// A seal claiming more entries than the replay has staged is corruption,
+// not a partial drain.
+func TestRecoverySealOverclaimIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := newDurableLog(t, dir, Config{})
+	if _, err := l.AddChain([]byte("only-entry")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Sequence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, storage.SnapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	// Append a forged seal claiming a larger tree than the WAL staged.
+	s, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendSeal(storage.SealRecord{TreeSize: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Config{
+		Name: "Durable Test Log", Operator: "TestOp",
+		Signer: l.cfg.Signer, Clock: l.cfg.Clock,
+	})
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("overclaiming seal: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// The starvation regression proper: a reader that arrives while a large
+// batch is mid-integration must be served from the published state
+// within a chunk gap, not after the whole batch. The sequencer is parked
+// in a gap (no locks held) while the main goroutine performs every read
+// class; if any read blocks until the batch completes — the pre-chunking
+// behaviour, where proofs queued behind one long write-lock hold — the
+// watchdog below fails the test instead of deadlocking it.
+func TestSequenceChunkedBoundsReaderBlocking(t *testing.T) {
+	l, clk := newTestLog(t, Config{SequenceChunk: 8})
+	for i := 0; i < 5; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("base-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(1)
+	}
+	sth0, err := l.PublishSTH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := l.GetEntries(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf0, err := base[0].LeafHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("blocker-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	midSeq := make(chan struct{})
+	release := make(chan struct{})
+	var park sync.Once
+	l.seqChunkHook = func(done, total int) {
+		park.Do(func() {
+			close(midSeq)
+			<-release
+		})
+	}
+	seqDone := make(chan error, 1)
+	go func() {
+		_, err := l.Sequence()
+		seqDone <- err
+	}()
+	<-midSeq
+
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		if sth := l.STH(); sth.TreeHead != sth0.TreeHead {
+			t.Errorf("mid-sequence STH moved: %+v", sth.TreeHead)
+		}
+		if _, err := l.GetEntries(0, 4); err != nil {
+			t.Errorf("mid-sequence GetEntries: %v", err)
+		}
+		if _, _, err := l.GetProofByHash(leaf0, sth0.TreeHead.TreeSize); err != nil {
+			t.Errorf("mid-sequence GetProofByHash: %v", err)
+		}
+		if _, err := l.GetConsistencyProof(1, sth0.TreeHead.TreeSize); err != nil {
+			t.Errorf("mid-sequence GetConsistencyProof: %v", err)
+		}
+	}()
+	select {
+	case <-readsDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader blocked behind a half-integrated batch")
+	}
+	select {
+	case err := <-seqDone:
+		t.Fatalf("sequence finished before the reads (err=%v); the park hook never held it", err)
+	default:
+	}
+
+	close(release)
+	if err := <-seqDone; err != nil {
+		t.Fatal(err)
+	}
+	l.seqChunkHook = nil
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.STH().TreeHead.TreeSize; got != 45 {
+		t.Fatalf("published size = %d, want 45", got)
+	}
+}

@@ -81,13 +81,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, err error) {
+// httpError maps a log error onto its ct/v1 status. The 429/503
+// Retry-After hint is the log's RetryAfterSeconds: the running
+// sequencer's interval rounded up to whole seconds (floor 1s), because
+// the next sequencing cycle is when refused capacity — a refilled token
+// bucket, a drained backlog — is most likely to exist again. A
+// hardcoded 1s here made every well-behaved client probe a
+// slow-sequencing log several times per cycle for nothing.
+func (l *Log) httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		// The capacity limiter refilled within a second by construction
-		// (tokens accrue continuously), so hint the shortest backoff the
-		// header can express.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(l.RetryAfterSeconds()))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -100,7 +104,7 @@ func httpError(w http.ResponseWriter, err error) {
 		// submitters this is the log's capacity to accept, not a protocol
 		// error on their side — and Retry-After tells them to probe again
 		// rather than hot-loop while the operator intervenes.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(l.RetryAfterSeconds()))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -120,7 +124,7 @@ func (l *Log) handleAddChain(w http.ResponseWriter, r *http.Request) {
 	}
 	s, err := l.AddChain(cert)
 	if err != nil {
-		httpError(w, err)
+		l.httpError(w, err)
 		return
 	}
 	writeJSON(w, sctToResponse(s))
@@ -146,7 +150,7 @@ func (l *Log) handleAddPreChain(w http.ResponseWriter, r *http.Request) {
 	copy(ikh[:], ikhBytes)
 	s, err := l.AddPreChain(ikh, tbs)
 	if err != nil {
-		httpError(w, err)
+		l.httpError(w, err)
 		return
 	}
 	writeJSON(w, sctToResponse(s))
@@ -172,7 +176,7 @@ func (l *Log) handleGetSTH(w http.ResponseWriter, _ *http.Request) {
 	sth := l.STH()
 	sig, err := sth.Sig.Serialize()
 	if err != nil {
-		httpError(w, err)
+		l.httpError(w, err)
 		return
 	}
 	writeJSON(w, GetSTHResponse{
@@ -192,7 +196,7 @@ func (l *Log) handleGetSTHConsistency(w http.ResponseWriter, r *http.Request) {
 	}
 	proof, err := l.GetConsistencyProof(first, second)
 	if err != nil {
-		httpError(w, err)
+		l.httpError(w, err)
 		return
 	}
 	writeJSON(w, GetSTHConsistencyResponse{Consistency: encodeHashes(proof)})
@@ -214,7 +218,7 @@ func (l *Log) handleGetProofByHash(w http.ResponseWriter, r *http.Request) {
 	copy(h[:], hashBytes)
 	index, proof, err := l.GetProofByHash(h, treeSize)
 	if err != nil {
-		httpError(w, err)
+		l.httpError(w, err)
 		return
 	}
 	writeJSON(w, GetProofByHashResponse{LeafIndex: index, AuditPath: encodeHashes(proof)})
@@ -235,14 +239,14 @@ func (l *Log) handleGetEntries(w http.ResponseWriter, r *http.Request) {
 	}
 	entries, err := l.GetEntries(start, end)
 	if err != nil {
-		httpError(w, err)
+		l.httpError(w, err)
 		return
 	}
 	resp := GetEntriesResponse{Entries: make([]LeafEntry, 0, len(entries))}
 	for _, e := range entries {
 		leaf, err := e.MerkleTreeLeaf()
 		if err != nil {
-			httpError(w, err)
+			l.httpError(w, err)
 			return
 		}
 		resp.Entries = append(resp.Entries, LeafEntry{

@@ -1,13 +1,16 @@
 package ctlog
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"ctrise/internal/sct"
 )
@@ -154,5 +157,65 @@ func TestHTTPGetEntriesClampsToPageLimit(t *testing.T) {
 	// 11 entries at page limit 4: pages of 4, 4, 3.
 	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 3 {
 		t.Fatalf("page sizes = %v, want [4 4 3]", sizes)
+	}
+}
+
+// The Retry-After hint on backpressure responses must be derived from
+// the configured sequencer interval — "one sequencing cycle from now" is
+// when refused capacity is most likely to exist again — not hardcoded.
+func TestHTTPRetryAfterDerivedFromSequencerInterval(t *testing.T) {
+	for _, tc := range []struct {
+		interval time.Duration
+		want     string
+	}{
+		{0, "1"},                      // no sequencer configured: floor
+		{300 * time.Millisecond, "1"}, // sub-second rounds up to the floor
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	} {
+		l, srv := newHTTPTestLog(t, Config{CapacityPerSecond: 1})
+		if tc.interval > 0 {
+			// A canceled context makes RunSequencer store the hint, drain,
+			// and exit immediately — the configured interval sticks.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := l.RunSequencer(ctx, tc.interval); !errors.Is(err, context.Canceled) {
+				t.Fatal(err)
+			}
+		}
+		// Exhaust the capacity bucket: the second submission gets 429.
+		if resp := post(t, srv, "/ct/v1/add-chain", `{"chain":["Zmlyc3Q="]}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("interval %v: first add status = %d", tc.interval, resp.StatusCode)
+		}
+		resp := post(t, srv, "/ct/v1/add-chain", `{"chain":["c2Vjb25k"]}`)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("interval %v: second add status = %d, want 429", tc.interval, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != tc.want {
+			t.Errorf("interval %v: Retry-After = %q, want %q", tc.interval, got, tc.want)
+		}
+	}
+}
+
+// 503s carry the same derived hint: a persistence failure heals (if at
+// all) on operator timescales, but the polite client backoff is still
+// "come back next sequencing cycle" — failover to another log happens
+// above this layer.
+func TestHTTPRetryAfterOnPersistenceFailure(t *testing.T) {
+	l, _ := newDurableLog(t, t.TempDir(), Config{})
+	srv := httptest.NewServer(l.Handler())
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.RunSequencer(ctx, 2*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	l.store.Close() // sticky failure: all further submissions get 503
+	resp := post(t, srv, "/ct/v1/add-chain", `{"chain":["ZG9vbWVk"]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want %q", got, "2")
 	}
 }

@@ -145,6 +145,16 @@ type Config struct {
 	// Sync selects the WAL durability point for logs opened with Open.
 	// Ignored by in-memory logs. Defaults to SyncEachSubmission.
 	Sync SyncPolicy
+	// SequenceChunk bounds how many entries one sequence step integrates
+	// per hold of the log mutex. A staged batch larger than this is
+	// drained and canonically sorted once (so the tree bytes are
+	// unchanged), then integrated chunk by chunk with the mutex released
+	// in between — readers and submitters arriving mid-integration wait
+	// for at most one chunk of tree appends instead of the whole batch.
+	// 0 means the default (DefaultSequenceChunk); negative disables
+	// chunking (the whole batch integrates under one hold, the pre-chunk
+	// behaviour — useful only for measuring the difference).
+	SequenceChunk int
 	// SnapshotEvery controls full-state snapshots on durable logs: a
 	// snapshot is written at publication once at least this many entries
 	// have been sequenced since the last one (recovery then replays only
@@ -190,6 +200,13 @@ type SignedTreeHead struct {
 type Log struct {
 	cfg Config
 
+	// seqMu serializes sequencing, publication, and Close: exactly one
+	// batch integrates at a time, and nothing may publish, snapshot, or
+	// tear the log down while a chunked sequence holds a half-integrated
+	// batch outside l.mu. Always acquired before l.mu; never held by
+	// readers or submitters.
+	seqMu sync.Mutex
+
 	mu   sync.RWMutex
 	tree *merkle.TiledTree
 	// entries holds the resident tail of the sequenced log: entries
@@ -225,6 +242,11 @@ type Log struct {
 	bucketAt     time.Time
 	// stats
 	rejected uint64
+	// retryAfterSecs is the Retry-After hint (whole seconds) for 429/503
+	// responses, derived from the running sequencer's interval; 0 means
+	// no sequencer has configured one yet and the HTTP layer falls back
+	// to 1s. See RetryAfterSeconds.
+	retryAfterSecs atomic.Int64
 
 	// store is the durability layer for logs opened with Open; nil for
 	// in-memory logs. snapAt is the tree size at the last snapshot.
@@ -236,6 +258,10 @@ type Log struct {
 	// stages so crash tests can kill the process at each durability
 	// boundary.
 	sealStageHook func(stage string)
+	// seqChunkHook, when set (tests only), runs between integration
+	// chunks of a chunked sequence with no locks held, so tests can park
+	// the sequencer mid-batch and prove readers are served in the gap.
+	seqChunkHook func(done, total int)
 }
 
 // newLog validates cfg and builds an unpublished log skeleton shared by
@@ -255,6 +281,9 @@ func newLog(cfg Config) (*Log, error) {
 	}
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = 4096
+	}
+	if cfg.SequenceChunk == 0 {
+		cfg.SequenceChunk = DefaultSequenceChunk
 	}
 	if cfg.TileSpan == 0 {
 		cfg.TileSpan = DefaultTileSpan
@@ -586,12 +615,20 @@ func (l *Log) TreeSize() uint64 {
 // within the MMD; experiments call it at batch boundaries of the virtual
 // clock. On durable logs the STH record is fsynced before the new head
 // becomes visible to readers, so a served STH is always recoverable.
+//
+// Sequencing runs chunked (see Sequence): a large batch integrates over
+// several lock holds, with readers served between them, and only then
+// is the head signed and published under one final hold. The sequencer
+// mutex spans both phases so no other sequence step can slip a partial
+// batch between the seal and the STH covering it.
 func (l *Log) PublishSTH() (SignedTreeHead, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.sequenceLocked(); err != nil {
+	l.seqMu.Lock()
+	defer l.seqMu.Unlock()
+	if _, err := l.sequence(); err != nil {
 		return SignedTreeHead{}, err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.publishLocked(); err != nil {
 		return SignedTreeHead{}, err
 	}

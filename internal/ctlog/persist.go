@@ -69,6 +69,11 @@ func Open(dir string, cfg Config) (*Log, error) {
 // store. In-memory logs close trivially. The log must not be used after
 // Close; a closed durable log refuses new submissions.
 func (l *Log) Close() error {
+	// seqMu first: a chunked sequence in flight holds a half-integrated
+	// batch outside l.mu, and a snapshot taken in one of its gaps would
+	// record the drained-but-uninstalled remainder nowhere.
+	l.seqMu.Lock()
+	defer l.seqMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.store == nil {
@@ -243,14 +248,29 @@ func (r *recovered) stageLeaf(leaf []byte) error {
 	return nil
 }
 
-// seal drains the pending batch through the canonical sort into the
-// tree — the exact sequenceLocked integration — then verifies the
+// seal drains the sealed batch through the canonical sort into the
+// tree — the exact live-sequencer integration — then verifies the
 // result against what the live log recorded. A mismatch means the
 // durable history cannot reproduce the tree it claims; recovery fails
 // loudly rather than serve diverged state.
+//
+// The seal's batch is the staged PREFIX its tree size accounts for, in
+// WAL file order: record order is lock order, so every record of the
+// drained batch precedes the drain point, and submissions that raced a
+// chunked sequence (their records landed between the drain and the
+// seal) belong to the NEXT batch — on the live log they stayed staged,
+// so here they must too. For the full-lock path the prefix is simply
+// everything staged, the original semantics.
 func (r *recovered) seal(s storage.SealRecord) error {
-	batch := r.staged
-	r.staged = nil
+	if s.TreeSize < r.tree.Size() {
+		return fmt.Errorf("%w: seal claims tree size %d below replayed %d", storage.ErrCorrupt, s.TreeSize, r.tree.Size())
+	}
+	n := s.TreeSize - r.tree.Size()
+	if n > uint64(len(r.staged)) {
+		return fmt.Errorf("%w: seal claims tree size %d, replay staged only %d of the %d entries it needs", storage.ErrCorrupt, s.TreeSize, len(r.staged), n)
+	}
+	batch := r.staged[:n]
+	r.staged = r.staged[n:]
 	sortBatch(batch)
 	integrateBatch(batch, r.tree, &r.entries, r.byLeafHash)
 	if r.tree.Size() != s.TreeSize {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ctrise/internal/ctlog/storage"
+	"ctrise/internal/drain"
 	"ctrise/internal/merkle"
 )
 
@@ -17,7 +18,22 @@ import (
 // AddPreChain built up and integrates it into the Merkle tree. Staging
 // and sequencing communicate only through Log.mu, so submitters keep
 // staging while a sequence step runs — they block only for the duration
-// of the batch's tree appends, not for any hashing or signing.
+// of one integration chunk, not for any hashing or signing.
+
+// DefaultSequenceChunk is the per-lock-hold integration chunk used when
+// Config.SequenceChunk is 0: large enough that chunking overhead is
+// noise, small enough that a reader arriving mid-integration waits for
+// at most ~a millisecond of tree appends instead of the whole batch.
+const DefaultSequenceChunk = 1024
+
+// ErrDrainIncomplete wraps the publish error when RunSequencer's final
+// drain on cancellation fails: acknowledged submissions are left staged
+// (durably, on a durable log — a restart recovers and sequences them).
+// It is always joined with the context's cancellation error, so callers
+// distinguish a clean drain (errors.Is(err, context.Canceled) only)
+// from an incomplete one (additionally errors.Is(err,
+// ErrDrainIncomplete)).
+var ErrDrainIncomplete = errors.New("ctlog: shutdown drain left entries staged")
 
 // Sequence integrates every staged submission into the Merkle tree and
 // returns the number of entries integrated. It does not publish an STH;
@@ -32,17 +48,65 @@ import (
 // come out identical. This is what lets the timeline replay fan
 // submissions out freely and still prove byte-identical trees.
 //
-// On durable logs each sequence step appends and fsyncs a seal record —
-// the snapshot cursor marking the batch boundary — so recovery re-sorts
-// exactly the same batches and reconstructs byte-identical tree state.
-// A persistence error leaves the batch integrated in memory but
-// unsealed on disk: recovery sees those entries as still staged, which
-// is a consistent earlier state, and the sticky store failure prevents
-// any later STH from being written over the unsealed tree.
+// A batch larger than Config.SequenceChunk is integrated incrementally:
+// the whole batch is drained and sorted up front (fixing the canonical
+// order and the seal boundary), but the tree appends take and release
+// the log mutex every chunk, so readers and submitters arriving
+// mid-integration wait for at most one chunk of appends instead of the
+// whole batch. Readers between chunks observe exactly the last
+// published state — STHs, get-entries, and proofs all serve the
+// published snapshot, which only moves at PublishSTH — so chunking is
+// invisible to RFC semantics and to the byte-identical determinism
+// suites; it only bounds reader latency.
+//
+// On durable logs each sequence step appends and fsyncs a single seal
+// record after the last chunk — the snapshot cursor marking the whole
+// batch boundary — so recovery re-sorts exactly the same batches and
+// reconstructs byte-identical tree state. Submissions that raced a
+// chunked sequence appended their WAL records after the drain point and
+// before the seal; recovery assigns the seal only its own batch (the
+// staged prefix its tree size accounts for) and leaves the rest staged,
+// exactly as the live log did. A persistence error leaves the batch
+// integrated in memory but unsealed on disk: recovery sees those
+// entries as still staged, which is a consistent earlier state, and the
+// sticky store failure prevents any later STH from being written over
+// the unsealed tree.
 func (l *Log) Sequence() (int, error) {
+	l.seqMu.Lock()
+	defer l.seqMu.Unlock()
+	return l.sequence()
+}
+
+// sequence drains and integrates the pending batch. Requires l.seqMu
+// (one sequencer at a time: the mutex is what makes releasing l.mu
+// between chunks safe — no second drain, publish, snapshot, or Close
+// can interleave with a half-integrated batch).
+func (l *Log) sequence() (int, error) {
+	chunk := l.cfg.SequenceChunk
+	l.mu.Lock()
+	if chunk < 0 || len(l.staged) <= chunk {
+		// Small batch (or chunking disabled): integrate and seal under
+		// one hold, the original fast path.
+		defer l.mu.Unlock()
+		return l.sequenceLocked()
+	}
+	batch := l.staged
+	l.staged = nil
+	l.mu.Unlock()
+	sortBatch(batch)
+	for done := 0; done < len(batch); {
+		n := min(chunk, len(batch)-done)
+		l.mu.Lock()
+		integrateBatch(batch[done:done+n], l.tree, &l.entries, l.byLeafHash)
+		l.mu.Unlock()
+		done += n
+		if h := l.seqChunkHook; h != nil && done < len(batch) {
+			h(done, len(batch))
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.sequenceLocked()
+	return len(batch), l.sealLocked()
 }
 
 func (l *Log) sequenceLocked() (int, error) {
@@ -53,22 +117,29 @@ func (l *Log) sequenceLocked() (int, error) {
 	l.staged = nil
 	sortBatch(batch)
 	integrateBatch(batch, l.tree, &l.entries, l.byLeafHash)
-	if l.store != nil {
-		root, err := l.tree.Root()
-		if err != nil {
-			return len(batch), err
-		}
-		if _, err := l.store.AppendSeal(storage.SealRecord{
-			TreeSize: l.tree.Size(),
-			Root:     [32]byte(root),
-		}); err != nil {
-			return len(batch), fmt.Errorf("%w: %v", ErrPersistence, err)
-		}
-		if err := l.store.Sync(); err != nil {
-			return len(batch), fmt.Errorf("%w: %v", ErrPersistence, err)
-		}
+	return len(batch), l.sealLocked()
+}
+
+// sealLocked appends and fsyncs the seal record fixing the batch
+// boundary just integrated. Requires l.mu; no-op on in-memory logs.
+func (l *Log) sealLocked() error {
+	if l.store == nil {
+		return nil
 	}
-	return len(batch), nil
+	root, err := l.tree.Root()
+	if err != nil {
+		return err
+	}
+	if _, err := l.store.AppendSeal(storage.SealRecord{
+		TreeSize: l.tree.Size(),
+		Root:     [32]byte(root),
+	}); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersistence, err)
+	}
+	if err := l.store.Sync(); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersistence, err)
+	}
+	return nil
 }
 
 // integrateBatch appends an already-ordered batch to the sequenced
@@ -118,28 +189,63 @@ func (l *Log) PendingCount() int {
 	return len(l.staged)
 }
 
+// RetryAfterSeconds is the whole-seconds backoff hint the log's HTTP
+// layer sends with 429/503 responses: the configured sequencer interval
+// rounded up (floor 1s), because "one sequencing cycle from now" is
+// when refused capacity is most likely to exist again. Before any
+// RunSequencer configures an interval it is 1.
+func (l *Log) RetryAfterSeconds() int {
+	if s := l.retryAfterSecs.Load(); s > 0 {
+		return int(s)
+	}
+	return 1
+}
+
 // RunSequencer sequences and publishes on a wall-clock ticker until ctx
 // is done — the production mode, where the interval is chosen well
 // inside the MMD. A non-positive interval is rejected (there is no
-// "sequence continuously" mode; pick a small interval instead). On
-// cancellation it performs one final sequence and publish so no
-// accepted submission is left staged, then returns ctx.Err().
+// "sequence continuously" mode; pick a small interval instead). The
+// interval also becomes the Retry-After hint on 429/503 responses (see
+// RetryAfterSeconds).
+//
+// A failed tick does not kill the loop: transient failures — a one-off
+// fsync error on a non-sticky path, a hiccuping signer — retry on the
+// next tick, because exiting would leave the log accepting submissions
+// it never again sequences. The loop exits only when the failure is
+// provably permanent: a sticky store failure (the durable log refuses
+// all further writes until an operator intervenes) or context
+// cancellation.
+//
+// On cancellation it performs one final sequence and publish so no
+// accepted submission is left staged, then returns ctx.Err(). If that
+// final publish fails, the result joins the cancellation error with
+// ErrDrainIncomplete wrapping the cause, so callers can tell a clean
+// drain from one that left acknowledged entries staged (durably staged,
+// on a durable log — the next start recovers and sequences them).
 func (l *Log) RunSequencer(ctx context.Context, interval time.Duration) error {
 	if interval <= 0 {
 		return errors.New("ctlog: sequencer interval must be positive")
 	}
+	l.retryAfterSecs.Store(int64(drain.RetryAfterSeconds(interval)))
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			if _, err := l.PublishSTH(); err != nil {
-				return err
+				return errors.Join(ctx.Err(), fmt.Errorf("%w: %w", ErrDrainIncomplete, err))
 			}
 			return ctx.Err()
 		case <-ticker.C:
 			if _, err := l.PublishSTH(); err != nil {
-				return err
+				if l.store != nil && l.store.Err() != nil {
+					// Sticky store failure: no future tick can succeed and
+					// submissions are already refused with ErrPersistence.
+					return err
+				}
+				// Transient (the store still accepts writes, or the log is
+				// in-memory): the staged batch is intact, retry next tick.
+				continue
 			}
 		}
 	}

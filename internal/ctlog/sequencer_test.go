@@ -2,8 +2,10 @@ package ctlog
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -228,5 +230,136 @@ func TestSigningFailureRollsBackStage(t *testing.T) {
 	}
 	if l.Sequence(); l.TreeSize() != 2 {
 		t.Fatalf("tree size = %d, want 2", l.TreeSize())
+	}
+}
+
+// sthFlakySigner fails SignTreeHead while `fail` is set and counts the
+// failures it served, so tests can prove a failed tick actually happened
+// before asserting the loop survived it.
+type sthFlakySigner struct {
+	sct.LogSigner
+	fail   atomic.Bool
+	failed atomic.Int64
+}
+
+func (f *sthFlakySigner) SignTreeHead(th sct.TreeHead) (sct.DigitallySigned, error) {
+	if f.fail.Load() {
+		f.failed.Add(1)
+		return sct.DigitallySigned{}, errSignerDown
+	}
+	return f.LogSigner.SignTreeHead(th)
+}
+
+// A transient publish failure (here: a hiccuping STH signer on an
+// in-memory log) must not kill the sequencer loop — the staged batch is
+// intact and the next tick retries. The pre-fix loop exited on the first
+// failed tick, leaving the log accepting submissions it would never
+// sequence.
+func TestRunSequencerRetriesTransientPublishFailure(t *testing.T) {
+	signer := &sthFlakySigner{LogSigner: sct.NewFastSigner("transient log")}
+	l, err := New(Config{Name: "transient log", Signer: signer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer.fail.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.RunSequencer(ctx, time.Millisecond) }()
+	if _, err := l.AddChain([]byte("survives a flaky signer")); err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one tick fail while the signer is down.
+	deadline := time.Now().Add(5 * time.Second)
+	for signer.failed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no tick attempted a publish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("sequencer exited on a transient failure: %v", err)
+	default:
+	}
+	// Signer recovers; the next tick must publish the staged entry.
+	signer.fail.Store(false)
+	for l.STH().TreeHead.TreeSize != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("sequencer never recovered after the transient failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("RunSequencer returned %v", err)
+	}
+}
+
+// A sticky store failure is permanent: every future write will fail and
+// submissions are already refused, so the loop must exit and surface the
+// persistence error instead of spinning on a dead store.
+func TestRunSequencerExitsOnStickyStoreFailure(t *testing.T) {
+	l, _ := newDurableLog(t, t.TempDir(), Config{SequenceChunk: 2})
+	for i := 0; i < 6; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("sticky-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the store mid-sequence: the seal after the last chunk fails,
+	// and the failure is sticky (a closed store refuses all writes).
+	var once sync.Once
+	l.seqChunkHook = func(done, total int) {
+		once.Do(func() { l.store.Close() })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- l.RunSequencer(ctx, time.Millisecond) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPersistence) {
+			t.Fatalf("RunSequencer returned %v, want ErrPersistence", err)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatal("sticky exit must not report cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sequencer kept running on a sticky store failure")
+	}
+}
+
+// When cancellation's final drain fails, the error must say so: joined
+// with ErrDrainIncomplete so callers can tell "drained clean" from
+// "acknowledged entries left staged". The pre-fix return masked the
+// publish failure entirely behind ctx.Err().
+func TestRunSequencerDrainJoinsPublishError(t *testing.T) {
+	signer := &sthFlakySigner{LogSigner: sct.NewFastSigner("dirty drain log")}
+	l, err := New(Config{Name: "dirty drain log", Signer: signer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddChain([]byte("left staged at shutdown")); err != nil {
+		t.Fatal(err)
+	}
+	signer.fail.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = l.RunSequencer(ctx, time.Hour)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSequencer returned %v, want cancellation in the join", err)
+	}
+	if !errors.Is(err, ErrDrainIncomplete) {
+		t.Fatalf("RunSequencer returned %v, want ErrDrainIncomplete in the join", err)
+	}
+	if !errors.Is(err, errSignerDown) {
+		t.Fatalf("RunSequencer returned %v, want the publish cause preserved", err)
+	}
+}
+
+// RunSequencer rejects a non-positive interval instead of ticking wild.
+func TestRunSequencerRejectsNonPositiveInterval(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	if err := l.RunSequencer(context.Background(), 0); err == nil {
+		t.Fatal("RunSequencer(0) must fail")
 	}
 }

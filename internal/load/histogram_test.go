@@ -1,0 +1,96 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Bucket indexing must be monotone and continuous across octave seams,
+// and reconstruction must land inside the recorded bucket.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 63, 64, 65, 127, 128, 129, 255, 256,
+		1000, 4095, 4096, 1 << 20, 1<<20 + 1, 1 << 40, 1<<63 - 1} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		got := uint64(bucketValue(idx))
+		if v < histSubBuckets {
+			if got != v {
+				t.Fatalf("bucketValue(bucketIndex(%d)) = %d, want exact", v, got)
+			}
+			continue
+		}
+		if v > 1<<62 {
+			continue // clamped into the top run by design
+		}
+		// The representative must be within one sub-bucket width (1/64
+		// relative) of the recorded value.
+		lo, hi := v-v/64-1, v+v/64+1
+		if got < lo || got > hi {
+			t.Fatalf("bucketValue(bucketIndex(%d)) = %d, outside [%d, %d]", v, got, lo, hi)
+		}
+	}
+}
+
+// Quantiles must track the true order statistics within bucket
+// precision on a skewed distribution.
+func TestHistogramQuantilesMatchSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]time.Duration, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		// Log-uniform over ~1µs–100ms: the shape of real RPC latencies.
+		v := time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(17))) * (1 + rng.Float64()))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("q=%v: got %v, want ~%v (ratio %.3f)", q, got, want, ratio)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("extreme quantiles must return exact min/max")
+	}
+}
+
+// Merging per-worker histograms must equal recording into one.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole Histogram
+	parts := make([]Histogram, 4)
+	for i := 0; i < 10000; i++ {
+		v := time.Duration(rng.Intn(1e7))
+		whole.Record(v)
+		parts[i%4].Record(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatal("merge diverged from direct recording")
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

@@ -1,0 +1,289 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op names one workload class. The harness treats ops as opaque labels;
+// cmd/ctload maps them onto ct/v1 endpoints.
+type Op string
+
+// The standard CT workload classes.
+const (
+	OpAddChain   Op = "add-chain"
+	OpGetSTH     Op = "get-sth"
+	OpGetEntries Op = "get-entries"
+	OpGetProof   Op = "get-proof"
+)
+
+// OpFunc issues one operation against the target. It is called
+// concurrently from every worker; rng is worker-private and may be used
+// for payload or parameter randomization without locking.
+type OpFunc func(ctx context.Context, rng *rand.Rand) error
+
+// MixItem weights one operation class within a workload.
+type MixItem struct {
+	Op     Op
+	Weight int
+}
+
+// Mix is a weighted workload: each request picks an op with probability
+// proportional to its weight.
+type Mix []MixItem
+
+// ParseMix parses the cmd/ctload mix syntax, e.g.
+// "add=1,sth=4,entries=8,proof=2". Class aliases: add, sth, entries,
+// proof (or the full op names). Zero-weight classes are dropped.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("load: bad mix element %q (want class=weight)", part)
+		}
+		w, err := strconv.Atoi(weightStr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("load: bad weight in %q", part)
+		}
+		var op Op
+		switch strings.TrimSpace(name) {
+		case "add", string(OpAddChain):
+			op = OpAddChain
+		case "sth", string(OpGetSTH):
+			op = OpGetSTH
+		case "entries", string(OpGetEntries):
+			op = OpGetEntries
+		case "proof", string(OpGetProof):
+			op = OpGetProof
+		default:
+			return nil, fmt.Errorf("load: unknown workload class %q", name)
+		}
+		if w > 0 {
+			m = append(m, MixItem{Op: op, Weight: w})
+		}
+	}
+	if len(m) == 0 {
+		return nil, errors.New("load: empty workload mix")
+	}
+	return m, nil
+}
+
+// pick selects an op by weight using one rng draw.
+func (m Mix) pick(rng *rand.Rand, total int) Op {
+	r := rng.Intn(total)
+	for _, item := range m {
+		if r < item.Weight {
+			return item.Op
+		}
+		r -= item.Weight
+	}
+	return m[len(m)-1].Op // unreachable with a consistent total
+}
+
+func (m Mix) totalWeight() int {
+	t := 0
+	for _, item := range m {
+		t += item.Weight
+	}
+	return t
+}
+
+// Options configures one load run.
+type Options struct {
+	// Conns is the number of concurrent workers (one per simulated
+	// connection; ctload additionally gives each worker its own
+	// http.Transport so the connections are real).
+	Conns int
+	// Duration bounds the run; the context can end it earlier.
+	Duration time.Duration
+	// Mix is the weighted workload. Required.
+	Mix Mix
+	// QPS paces the aggregate request rate across all workers. Zero
+	// means closed-loop: every worker issues its next request as soon
+	// as the previous one returns, measuring the target's capacity.
+	QPS float64
+	// Seed makes payload/parameter randomization reproducible; worker i
+	// derives its private rng from Seed+i.
+	Seed int64
+}
+
+// OpResult aggregates one workload class over the whole run.
+type OpResult struct {
+	Op       Op
+	Requests uint64
+	Errors   uint64
+	Hist     *Histogram
+}
+
+// Result is one load run's outcome.
+type Result struct {
+	// Elapsed is the measured wall time (≤ Options.Duration when the
+	// context ended the run early).
+	Elapsed time.Duration
+	// Ops maps each workload class to its aggregate; iterate via
+	// SortedOps for deterministic output.
+	Ops map[Op]*OpResult
+	// Requests and Errors total across classes.
+	Requests uint64
+	Errors   uint64
+}
+
+// Throughput is the aggregate completed-request rate in requests/second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// SortedOps returns the per-class results in stable (alphabetical) op
+// order for rendering.
+func (r Result) SortedOps() []*OpResult {
+	ops := make([]*OpResult, 0, len(r.Ops))
+	for _, or := range r.Ops {
+		ops = append(ops, or)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Op < ops[j].Op })
+	return ops
+}
+
+// workerState is one worker's private accumulation: no locks, no shared
+// cache lines on the hot path.
+type workerState struct {
+	requests map[Op]uint64
+	errors   map[Op]uint64
+	hists    map[Op]*Histogram
+}
+
+func newWorkerState(m Mix) *workerState {
+	ws := &workerState{
+		requests: make(map[Op]uint64, len(m)),
+		errors:   make(map[Op]uint64, len(m)),
+		hists:    make(map[Op]*Histogram, len(m)),
+	}
+	for _, item := range m {
+		ws.hists[item.Op] = &Histogram{}
+	}
+	return ws
+}
+
+// Run drives the workload until Duration elapses or ctx is done, then
+// merges per-worker state into one Result. ops must provide a function
+// for every class in the mix. Operation errors are counted, not fatal:
+// a load harness's job is to keep offering load while the target
+// sheds it (429s during overload are data, not failures). Run itself
+// fails only on misconfiguration.
+func Run(ctx context.Context, opts Options, ops map[Op]OpFunc) (Result, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.Duration <= 0 {
+		return Result{}, errors.New("load: duration must be positive")
+	}
+	if len(opts.Mix) == 0 {
+		return Result{}, errors.New("load: empty workload mix")
+	}
+	total := opts.Mix.totalWeight()
+	if total <= 0 {
+		return Result{}, errors.New("load: mix weights sum to zero")
+	}
+	for _, item := range opts.Mix {
+		if ops[item.Op] == nil {
+			return Result{}, fmt.Errorf("load: no OpFunc for %q", item.Op)
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	// Paced mode: worker w fires request k at start + (w+k*conns)/qps,
+	// interleaving workers evenly across the aggregate schedule. A
+	// worker behind schedule (slow target) fires immediately — offered
+	// load degrades toward closed-loop instead of queueing unboundedly
+	// in the harness.
+	var interval time.Duration
+	if opts.QPS > 0 {
+		interval = time.Duration(float64(opts.Conns) / opts.QPS * float64(time.Second))
+	}
+
+	states := make([]*workerState, opts.Conns)
+	done := make(chan int, opts.Conns)
+	start := time.Now()
+	for w := 0; w < opts.Conns; w++ {
+		ws := newWorkerState(opts.Mix)
+		states[w] = ws
+		go func(w int, ws *workerState) {
+			defer func() { done <- w }()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			next := start
+			if interval > 0 {
+				next = start.Add(time.Duration(w) * interval / time.Duration(opts.Conns))
+			}
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						select {
+						case <-runCtx.Done():
+							return
+						case <-time.After(d):
+						}
+					}
+					next = next.Add(interval)
+				}
+				op := opts.Mix.pick(rng, total)
+				t0 := time.Now()
+				err := ops[op](runCtx, rng)
+				elapsed := time.Since(t0)
+				if runCtx.Err() != nil && err != nil {
+					// The run ended mid-request; don't count the
+					// cancellation as a target error or its truncated
+					// latency as an observation.
+					return
+				}
+				ws.requests[op]++
+				ws.hists[op].Record(elapsed)
+				if err != nil {
+					ws.errors[op]++
+				}
+			}
+		}(w, ws)
+	}
+	for i := 0; i < opts.Conns; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+	if elapsed > opts.Duration {
+		elapsed = opts.Duration
+	}
+
+	res := Result{Elapsed: elapsed, Ops: make(map[Op]*OpResult, len(opts.Mix))}
+	for _, item := range opts.Mix {
+		res.Ops[item.Op] = &OpResult{Op: item.Op, Hist: &Histogram{}}
+	}
+	for _, ws := range states {
+		for op, or := range res.Ops {
+			or.Requests += ws.requests[op]
+			or.Errors += ws.errors[op]
+			or.Hist.Merge(ws.hists[op])
+		}
+	}
+	for _, or := range res.Ops {
+		res.Requests += or.Requests
+		res.Errors += or.Errors
+	}
+	return res, nil
+}

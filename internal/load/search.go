@@ -1,0 +1,129 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// SearchOptions configures a sustained-QPS search: the highest paced
+// rate the target sustains while meeting the latency objective.
+type SearchOptions struct {
+	// MinQPS/MaxQPS bracket the search. MinQPS must itself pass — the
+	// search reports 0 (and no error) if even the floor fails.
+	MinQPS float64
+	MaxQPS float64
+	// TrialDuration is each probe's length.
+	TrialDuration time.Duration
+	// P99SLO is the per-class p99 ceiling for a trial to pass; zero
+	// disables the latency criterion (throughput-only search).
+	P99SLO time.Duration
+	// Tolerance ends the search when the bracket is within this factor
+	// (default 1.05, i.e. 5%).
+	Tolerance float64
+	// OnTrial, when set, observes each probe (for progress output).
+	OnTrial func(qps float64, res Result, ok bool)
+}
+
+// SearchResult is the outcome of a sustained-QPS search.
+type SearchResult struct {
+	// SustainedQPS is the highest passing rate, 0 if MinQPS failed.
+	SustainedQPS float64
+	// Best is the passing trial's full result (zero-valued if none).
+	Best   Result
+	Trials int
+}
+
+// sustained decides whether a paced trial at target qps passed: the
+// target must have completed at least 90% of the offered rate (a
+// closed-loop collapse shows up as missing throughput), no more than 1%
+// of requests may have errored, and every class's p99 must be inside
+// the SLO.
+func sustained(res Result, qps float64, slo time.Duration) bool {
+	if res.Throughput() < 0.9*qps {
+		return false
+	}
+	if res.Requests > 0 && float64(res.Errors) > 0.01*float64(res.Requests) {
+		return false
+	}
+	if slo > 0 {
+		for _, or := range res.Ops {
+			if or.Hist.Count() > 0 && or.Hist.Quantile(0.99) > slo {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SearchSustainedQPS binary-searches the highest paced rate in
+// [MinQPS, MaxQPS] the target sustains under opts' mix and connection
+// count. opts.QPS is overridden per trial; opts.Duration is replaced by
+// TrialDuration.
+func SearchSustainedQPS(ctx context.Context, opts Options, ops map[Op]OpFunc, s SearchOptions) (SearchResult, error) {
+	if s.MinQPS <= 0 || s.MaxQPS < s.MinQPS {
+		return SearchResult{}, errors.New("load: search needs 0 < MinQPS <= MaxQPS")
+	}
+	if s.TrialDuration <= 0 {
+		return SearchResult{}, errors.New("load: search needs a positive trial duration")
+	}
+	tol := s.Tolerance
+	if tol <= 1 {
+		tol = 1.05
+	}
+	opts.Duration = s.TrialDuration
+
+	trial := func(qps float64) (Result, bool, error) {
+		opts.QPS = qps
+		res, err := Run(ctx, opts, ops)
+		if err != nil {
+			return Result{}, false, err
+		}
+		ok := sustained(res, qps, s.P99SLO)
+		if s.OnTrial != nil {
+			s.OnTrial(qps, res, ok)
+		}
+		return res, ok, nil
+	}
+
+	var out SearchResult
+	res, ok, err := trial(s.MinQPS)
+	out.Trials++
+	if err != nil {
+		return out, err
+	}
+	if !ok {
+		return out, nil // even the floor fails: report 0, not an error
+	}
+	lo, hi := s.MinQPS, s.MaxQPS
+	out.SustainedQPS, out.Best = lo, res
+
+	// Does the ceiling pass outright?
+	res, ok, err = trial(hi)
+	out.Trials++
+	if err != nil {
+		return out, err
+	}
+	if ok {
+		out.SustainedQPS, out.Best = hi, res
+		return out, nil
+	}
+	for hi/lo > tol {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		mid := (lo + hi) / 2
+		res, ok, err := trial(mid)
+		out.Trials++
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			lo = mid
+			out.SustainedQPS, out.Best = mid, res
+		} else {
+			hi = mid
+		}
+	}
+	return out, nil
+}
