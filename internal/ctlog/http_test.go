@@ -2,6 +2,7 @@ package ctlog
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -99,6 +100,29 @@ func TestHTTPProofAndConsistencyErrorPaths(t *testing.T) {
 	if _, err := l.PublishSTH(); err != nil {
 		t.Fatal(err)
 	}
+	// Two more entries sequenced but NOT published: the proof surface
+	// serves the published snapshot (head 4), so sizes 5 and 6 must be
+	// rejected exactly like any other out-of-range size even though the
+	// live tree covers them.
+	for i := 4; i < 6; i++ {
+		if _, err := l.AddChain([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Sequence(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := l.GetEntries(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafB64 := func(i int) string {
+		h, err := ents[i].LeafHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return url.QueryEscape(base64.StdEncoding.EncodeToString(h[:]))
+	}
 	checks := []struct {
 		name, path string
 		want       int
@@ -108,8 +132,16 @@ func TestHTTPProofAndConsistencyErrorPaths(t *testing.T) {
 		{"proof short hash", "/ct/v1/get-proof-by-hash?hash=c2hvcnQ=&tree_size=4", http.StatusBadRequest},
 		{"proof unknown hash", "/ct/v1/get-proof-by-hash?hash=" +
 			url.QueryEscape("q82RDxLKvBkbpdEvZ6pQ0FJ145U9PvyHcQRhnAuGYzo=") + "&tree_size=4", http.StatusNotFound},
+		{"proof at published head", "/ct/v1/get-proof-by-hash?hash=" + leafB64(0) + "&tree_size=4", http.StatusOK},
+		{"proof above published head", "/ct/v1/get-proof-by-hash?hash=" + leafB64(0) + "&tree_size=5", http.StatusBadRequest},
+		{"proof at live tree size", "/ct/v1/get-proof-by-hash?hash=" + leafB64(0) + "&tree_size=6", http.StatusBadRequest},
+		{"proof tree_size zero", "/ct/v1/get-proof-by-hash?hash=" + leafB64(0) + "&tree_size=0", http.StatusBadRequest},
+		{"proof index past tree_size", "/ct/v1/get-proof-by-hash?hash=" + leafB64(3) + "&tree_size=3", http.StatusBadRequest},
 		{"consistency bad params", "/ct/v1/get-sth-consistency?first=a&second=b", http.StatusBadRequest},
 		{"consistency inverted", "/ct/v1/get-sth-consistency?first=4&second=2", http.StatusBadRequest},
+		{"consistency first zero", "/ct/v1/get-sth-consistency?first=0&second=4", http.StatusBadRequest},
+		{"consistency at published head", "/ct/v1/get-sth-consistency?first=2&second=4", http.StatusOK},
+		{"consistency above published head", "/ct/v1/get-sth-consistency?first=2&second=5", http.StatusBadRequest},
 		{"unknown endpoint", "/ct/v1/get-roots", http.StatusNotFound},
 		{"wrong method", "/ct/v1/add-chain", http.StatusMethodNotAllowed},
 	}

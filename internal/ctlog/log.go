@@ -65,6 +65,25 @@
 // after a restart get the original SCT either way, because the dedupe
 // index (staged entries included) is part of the recovered state.
 //
+// # Lock-free reads: the published-snapshot contract
+//
+// Every read endpoint — GetSTH, GetEntries, StreamEntries,
+// GetInclusionProof, GetConsistencyProof, GetProofByHash — is answered
+// from the publishedState snapshot behind an atomic pointer and
+// acquires no log mutex. PublishSTH installs the snapshot atomically:
+// the STH, the frozen entry prefix, a merkle.PrefixView frozen at the
+// published size (an O(log n) freeze of the tree's level caches, not a
+// copy), and the lock-free hash→index resolution all advance together,
+// so a request observes one consistent published view end to end even
+// while a chunked Sequence holds the write lock. The published head is
+// the horizon: tree sizes above it are rejected with the same error
+// classes as sizes above the live tree, even when the live tree already
+// covers them — proofs over unpublished state would pin the log to an
+// STH it never signed. The contract is pinned by a differential proof
+// oracle (an independent RFC 6962 implementation recomputing proofs
+// from raw leaf bytes) in TestProofOracle* and FuzzProofEquivalence,
+// and structurally by TestProofServingHoldsNoLogMutex.
+//
 // The log uses a caller-supplied clock so experiments replay the paper's
 // 2017–2018 timeline deterministically, and an optional capacity limit so
 // overload behaviour (the Nimbus incident discussed in Section 2 and the
@@ -226,8 +245,9 @@ type Log struct {
 	dedupe map[merkle.Hash]*Entry
 	// byLeafHash maps Merkle leaf hash -> entry index for
 	// get-proof-by-hash, resident tail only; sealed leaf hashes resolve
-	// through the tile indexes.
-	byLeafHash map[merkle.Hash]uint64
+	// through the tile indexes. It is a lock-free index (see proofs.go):
+	// written under mu, read by proof serving with no lock at all.
+	byLeafHash *leafIndex
 	// published is the latest signed tree head; it may trail the tree by
 	// up to MMD.
 	published SignedTreeHead
@@ -304,7 +324,7 @@ func newLog(cfg Config) (*Log, error) {
 		cfg:        cfg,
 		tree:       tree,
 		dedupe:     make(map[merkle.Hash]*Entry),
-		byLeafHash: make(map[merkle.Hash]uint64),
+		byLeafHash: &leafIndex{},
 	}
 	l.bucketAt = cfg.Clock()
 	l.bucketTokens = cfg.CapacityPerSecond
@@ -637,9 +657,10 @@ func (l *Log) PublishSTH() (SignedTreeHead, error) {
 
 // publishedState is the immutable snapshot stored in Log.pub: the latest
 // STH plus where the entries it covers live — the resident tail slice
-// for [tailStart, TreeSize), the sealed tiles below tailStart. Readers
-// hold it lock-free; a seal after publication does not disturb it (the
-// old tail backing array stays alive until the next publish swaps the
+// for [tailStart, TreeSize), the sealed tiles below tailStart — plus a
+// frozen Merkle view over exactly the published prefix. Readers hold it
+// lock-free; a seal after publication does not disturb it (the old tail
+// and level backing arrays stay alive until the next publish swaps the
 // view).
 type publishedState struct {
 	sth SignedTreeHead
@@ -649,6 +670,34 @@ type publishedState struct {
 	tailStart uint64
 	// tiles serves the sealed prefix; nil on in-memory logs (tailStart 0).
 	tiles *tileStore
+	// tree is the frozen proof view over the published prefix
+	// (merkle.TiledTree.PrefixView at sth.TreeHead.TreeSize): inclusion
+	// and consistency proofs at any size ≤ the published head compute
+	// from it with no log lock. See proofs.go.
+	tree *merkle.TiledTree
+}
+
+// storePublishedLocked installs the published snapshot readers serve
+// from: the current STH, the append-frozen resident tail it covers, the
+// tile store, and a frozen proof view at the published size. Requires
+// l.mu and l.published to be current. The published size may trail the
+// live tree (recovery can rebuild sequenced-but-unpublished seals), but
+// never the sealed prefix — sealing only happens below a published head
+// — so the PrefixView precondition always holds.
+func (l *Log) storePublishedLocked() error {
+	view, err := l.tree.PrefixView(l.published.TreeHead.TreeSize)
+	if err != nil {
+		return err
+	}
+	n := l.published.TreeHead.TreeSize - l.tailStart
+	l.pub.Store(&publishedState{
+		sth:       l.published,
+		tail:      l.entries[:n:n],
+		tailStart: l.tailStart,
+		tiles:     l.tiles,
+		tree:      view,
+	})
+	return nil
 }
 
 func (l *Log) publishLocked() error {
@@ -690,13 +739,9 @@ func (l *Log) publishLocked() error {
 		}
 	}
 	l.published = SignedTreeHead{TreeHead: th, Sig: sig}
-	n := th.TreeSize - l.tailStart
-	l.pub.Store(&publishedState{
-		sth:       l.published,
-		tail:      l.entries[:n:n],
-		tailStart: l.tailStart,
-		tiles:     l.tiles,
-	})
+	if err := l.storePublishedLocked(); err != nil {
+		return err
+	}
 	// Seal every complete tile the new head covers: tile files are
 	// written, verified, and installed; RAM and WAL compact behind them.
 	if err := l.maybeSealLocked(); err != nil {
@@ -808,45 +853,4 @@ func (l *Log) StreamEntries(start, end uint64, fn func(*Entry) error) error {
 		start = stop + 1
 	}
 	return nil
-}
-
-// GetProofByHash returns the inclusion proof and index for a leaf hash at
-// the given tree size. The resident tail resolves through the RAM map;
-// sealed leaves resolve through the per-tile bloom + index files. Proof
-// construction may page sealed hash tiles in from disk; like the other
-// proof endpoints this happens under the read lock (readers don't block
-// readers, and the page cache keeps repeat proofs off the disk).
-func (l *Log) GetProofByHash(leafHash merkle.Hash, treeSize uint64) (uint64, []merkle.Hash, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	idx, ok := l.byLeafHash[leafHash]
-	if !ok && l.tiles != nil {
-		var err error
-		idx, ok, err = l.tiles.lookupLeafIndex(leafHash)
-		if err != nil {
-			return 0, nil, err
-		}
-	}
-	if !ok {
-		return 0, nil, ErrNotFound
-	}
-	if idx >= treeSize {
-		return 0, nil, fmt.Errorf("%w: leaf %d not in tree of size %d", ErrBadRange, idx, treeSize)
-	}
-	proof, err := l.tree.InclusionProof(idx, treeSize)
-	return idx, proof, err
-}
-
-// GetConsistencyProof returns the proof between two published tree sizes.
-func (l *Log) GetConsistencyProof(first, second uint64) ([]merkle.Hash, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.tree.ConsistencyProof(first, second)
-}
-
-// GetInclusionProof returns the proof for an entry index at a tree size.
-func (l *Log) GetInclusionProof(index, treeSize uint64) ([]merkle.Hash, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.tree.InclusionProof(index, treeSize)
 }

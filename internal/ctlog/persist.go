@@ -102,7 +102,7 @@ type recovered struct {
 	staged     []*Entry
 	tree       *merkle.TiledTree
 	dedupe     map[merkle.Hash]*Entry
-	byLeafHash map[merkle.Hash]uint64
+	byLeafHash *leafIndex
 	sth        *SignedTreeHead
 	snapSize   uint64
 	// tiledThrough and tileRoots come from the snapshot: the sealed
@@ -120,7 +120,7 @@ func newRecovered(l *Log) (*recovered, error) {
 	return &recovered{
 		tree:       tree,
 		dedupe:     make(map[merkle.Hash]*Entry),
-		byLeafHash: make(map[merkle.Hash]uint64),
+		byLeafHash: &leafIndex{},
 	}, nil
 }
 
@@ -210,13 +210,9 @@ func (l *Log) recover(snap *storage.Snapshot, snapErr error) error {
 		return l.publishLocked()
 	}
 	l.published = *rec.sth
-	n := rec.sth.TreeHead.TreeSize - l.tailStart
-	l.pub.Store(&publishedState{
-		sth:       l.published,
-		tail:      l.entries[:n:n],
-		tailStart: l.tailStart,
-		tiles:     l.tiles,
-	})
+	if err := l.storePublishedLocked(); err != nil {
+		return err
+	}
 	if adopted {
 		// Re-anchor the snapshot's WAL cursor to the freshly reset WAL,
 		// so the next open replays (the empty) tail from a real offset.

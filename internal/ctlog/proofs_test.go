@@ -1,0 +1,308 @@
+package ctlog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ctrise/internal/merkle"
+	"ctrise/internal/sct"
+)
+
+// Tests for the lock-free proof serving path: the structural zero-mutex
+// property, the convoy regression (proof latency during a large chunked
+// integration stays at idle levels), and the error surface over the
+// published snapshot.
+
+// TestProofServingHoldsNoLogMutex is the structural assertion behind
+// "lock-free": every proof endpoint must complete while the log's write
+// lock is HELD by the test. On the old RLock serving path each call
+// deadlocks here and the watchdog fires. Run over both an in-memory log
+// and a durable tiled one (whose proof-by-hash path additionally walks
+// the tile blooms and index files).
+func TestProofServingHoldsNoLogMutex(t *testing.T) {
+	run := func(t *testing.T, l *Log, clk *virtualClock) {
+		for i := 0; i < 40; i++ {
+			if _, err := l.AddChain([]byte(fmt.Sprintf("nolock-%02d", i))); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(time.Second)
+		}
+		sth, err := l.PublishSTH()
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := sth.TreeHead.TreeSize
+		ents, err := l.GetEntries(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaf0, err := ents[0].LeafHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Hold BOTH log mutexes for the duration: if any proof endpoint
+		// acquires either, it blocks until the watchdog kills the test.
+		l.seqMu.Lock()
+		defer l.seqMu.Unlock()
+		l.mu.Lock()
+		defer l.mu.Unlock()
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := l.GetInclusionProof(3, size); err != nil {
+				t.Errorf("GetInclusionProof under held write lock: %v", err)
+			}
+			if _, err := l.GetConsistencyProof(1, size); err != nil {
+				t.Errorf("GetConsistencyProof under held write lock: %v", err)
+			}
+			idx, proof, err := l.GetProofByHash(leaf0, size)
+			if err != nil {
+				t.Errorf("GetProofByHash under held write lock: %v", err)
+			} else if err := merkle.VerifyInclusion(leaf0, idx, size, proof,
+				merkle.Hash(sth.TreeHead.RootHash)); err != nil {
+				t.Errorf("proof served under held write lock does not verify: %v", err)
+			}
+			// The error paths must be lock-free too, not just the successes.
+			if _, err := l.GetInclusionProof(0, size+1); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+				t.Errorf("above-head error under held write lock: %v", err)
+			}
+			if _, _, err := l.GetProofByHash(merkle.Hash{0xAB}, size); !errors.Is(err, ErrNotFound) {
+				t.Errorf("unknown-hash error under held write lock: %v", err)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("a proof endpoint blocked on the log mutex")
+		}
+	}
+	t.Run("inmemory", func(t *testing.T) {
+		l, clk := newTestLog(t, Config{})
+		run(t, l, clk)
+	})
+	t.Run("tiled", func(t *testing.T) {
+		l, clk := newDurableLog(t, t.TempDir(), Config{TileSpan: 8, Sync: SyncAtSequence})
+		defer l.Close()
+		run(t, l, clk)
+	})
+}
+
+// TestProofServingLockFree is the convoy regression: proof requests
+// issued while a large staged batch integrates chunk by chunk must be
+// answered at idle latency, not queued behind the sequencer's
+// back-to-back write-lock holds (the RWMutex writer-preference convoy
+// that motivated serving proofs from the published snapshot). The bound
+// is deliberately loose — a generous multiple of the measured idle
+// latency with an absolute floor — so scheduler noise cannot flake it,
+// while the pre-fix behaviour (proof latency tracking whole-batch
+// integration) exceeds it by orders of magnitude.
+func TestProofServingLockFree(t *testing.T) {
+	const batch = 120_000
+	clk := newClock()
+	l, err := New(Config{
+		Name: "convoy log", Operator: "TestOp",
+		Signer: sct.NewFastSigner("convoy log"), Clock: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("convoy-base-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sth, err := l.PublishSTH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := sth.TreeHead.TreeSize
+	ents, err := l.GetEntries(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ents[0].LeafHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func() time.Duration {
+		t0 := time.Now()
+		if _, err := l.GetInclusionProof(7, size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.GetConsistencyProof(64, size); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := l.GetProofByHash(leaf, size); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+
+	// Idle baseline: the worst of 200 probes with no writer anywhere.
+	var idleMax time.Duration
+	for i := 0; i < 200; i++ {
+		if d := probe(); d > idleMax {
+			idleMax = d
+		}
+	}
+
+	for i := 0; i < batch; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("convoy-bulk-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqDone := make(chan error, 1)
+	go func() {
+		_, err := l.Sequence()
+		seqDone <- err
+	}()
+
+	// Probe continuously while the batch integrates; count only probes
+	// that both start and finish inside the integration window.
+	var during []time.Duration
+	for {
+		select {
+		case err := <-seqDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(during) == 0 {
+				t.Skip("integration finished before any probe completed; nothing measured")
+			}
+			var worst time.Duration
+			for _, d := range during {
+				if d > worst {
+					worst = d
+				}
+			}
+			// 100× the idle worst-case, floored at 150ms. The floor
+			// absorbs GC pauses from staging 120k entries (observed tens
+			// of ms under -race); a probe queued behind the integration's
+			// write-lock holds — the pre-fix behaviour — waits a large
+			// fraction of the multi-second batch and blows the bound by
+			// an order of magnitude.
+			bound := 100 * idleMax
+			if bound < 150*time.Millisecond {
+				bound = 150 * time.Millisecond
+			}
+			t.Logf("idle max %v; during integration: %d probes, worst %v (bound %v)",
+				idleMax, len(during), worst, bound)
+			if worst > bound {
+				t.Fatalf("proof latency during integration reached %v (idle max %v): the convoy is back", worst, idleMax)
+			}
+			if _, err := l.PublishSTH(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			during = append(during, probe())
+		}
+	}
+}
+
+// TestProofErrorPathsOverSnapshot pins the Log-API error surface of the
+// published-snapshot serving path, including the window where the live
+// tree runs ahead of the published head.
+func TestProofErrorPathsOverSnapshot(t *testing.T) {
+	l, clk := newTestLog(t, Config{})
+	for i := 0; i < 10; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("err-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	sth, err := l.PublishSTH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	published := sth.TreeHead.TreeSize // 10
+
+	// Sequence five more WITHOUT publishing: live tree 15, head 10.
+	for i := 0; i < 5; i++ {
+		if _, err := l.AddChain([]byte(fmt.Sprintf("ahead-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Sequence(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TreeSize() != 15 {
+		t.Fatalf("live tree = %d, want 15", l.TreeSize())
+	}
+
+	// Sizes above the published head are rejected even though the live
+	// tree covers them — proofs are only served against published STHs.
+	if _, err := l.GetInclusionProof(0, published+1); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+		t.Errorf("inclusion above head: err=%v, want ErrSizeOutOfRange", err)
+	}
+	if _, err := l.GetInclusionProof(0, 15); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+		t.Errorf("inclusion at live size: err=%v, want ErrSizeOutOfRange", err)
+	}
+	if _, err := l.GetConsistencyProof(5, 15); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+		t.Errorf("consistency above head: err=%v, want ErrSizeOutOfRange", err)
+	}
+	// Size 0 / index ≥ size / inverted ranges.
+	if _, err := l.GetInclusionProof(0, 0); !errors.Is(err, merkle.ErrIndexOutOfRange) {
+		t.Errorf("inclusion in empty tree: err=%v, want ErrIndexOutOfRange", err)
+	}
+	if _, err := l.GetInclusionProof(published, published); !errors.Is(err, merkle.ErrIndexOutOfRange) {
+		t.Errorf("inclusion index == size: err=%v, want ErrIndexOutOfRange", err)
+	}
+	if _, err := l.GetConsistencyProof(0, published); !errors.Is(err, merkle.ErrEmptyRange) {
+		t.Errorf("consistency from 0: err=%v, want ErrEmptyRange", err)
+	}
+	if _, err := l.GetConsistencyProof(7, 3); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+		t.Errorf("inverted consistency: err=%v, want ErrSizeOutOfRange", err)
+	}
+	// Unknown hash → ErrNotFound regardless of tree_size.
+	if _, _, err := l.GetProofByHash(merkle.Hash{0x5A}, published); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown hash: err=%v, want ErrNotFound", err)
+	}
+	// A sequenced-but-unpublished leaf resolves to an index at or above
+	// the requested (published) size → ErrBadRange, exactly as a client
+	// asking about an entry its STH does not cover should see.
+	unpub := l.entries[12]
+	if _, _, err := l.GetProofByHash(unpub.leafHash, published); !errors.Is(err, ErrBadRange) {
+		t.Errorf("unpublished leaf at published size: err=%v, want ErrBadRange", err)
+	}
+	// Same leaf above the head: the index resolves and is inside the
+	// requested size, so the rejection comes from the snapshot's view
+	// bound instead.
+	if _, _, err := l.GetProofByHash(unpub.leafHash, 15); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+		t.Errorf("unpublished leaf at live size: err=%v, want ErrSizeOutOfRange", err)
+	}
+
+	// After publishing, everything above becomes servable.
+	if _, err := l.PublishSTH(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.GetProofByHash(unpub.leafHash, 15); err != nil {
+		t.Errorf("published leaf now fails: %v", err)
+	}
+}
+
+// TestProofErrorPathsEmptyLog: a freshly created log has published only
+// the empty-tree STH; the proof surface must fail cleanly, never panic
+// or block.
+func TestProofErrorPathsEmptyLog(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	if _, err := l.GetInclusionProof(0, 0); !errors.Is(err, merkle.ErrIndexOutOfRange) {
+		t.Errorf("inclusion on empty log: err=%v, want ErrIndexOutOfRange", err)
+	}
+	if _, err := l.GetInclusionProof(0, 1); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+		t.Errorf("inclusion above empty head: err=%v, want ErrSizeOutOfRange", err)
+	}
+	if _, err := l.GetConsistencyProof(0, 0); !errors.Is(err, merkle.ErrEmptyRange) {
+		t.Errorf("consistency(0,0) on empty log: err=%v, want ErrEmptyRange", err)
+	}
+	if _, err := l.GetConsistencyProof(1, 1); !errors.Is(err, merkle.ErrSizeOutOfRange) {
+		t.Errorf("consistency(1,1) on empty log: err=%v, want ErrSizeOutOfRange", err)
+	}
+	if _, _, err := l.GetProofByHash(merkle.Hash{1}, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("proof-by-hash on empty log: err=%v, want ErrNotFound", err)
+	}
+}

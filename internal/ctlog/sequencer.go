@@ -150,11 +150,11 @@ func (l *Log) sealLocked() error {
 // ones. Entry indexes are absolute (the tree assigns them), while the
 // entries slice holds only the resident tail — on a tree recovered over
 // sealed tiles the two differ by tailStart.
-func integrateBatch(batch []*Entry, tree *merkle.TiledTree, entries *[]*Entry, byLeafHash map[merkle.Hash]uint64) {
+func integrateBatch(batch []*Entry, tree *merkle.TiledTree, entries *[]*Entry, byLeafHash *leafIndex) {
 	for _, e := range batch {
 		e.Index = tree.AppendLeafHash(e.leafHash)
 		*entries = append(*entries, e)
-		byLeafHash[e.leafHash] = e.Index
+		byLeafHash.set(e.leafHash, e.Index)
 	}
 }
 

@@ -350,21 +350,21 @@ func (l *Log) maybeSealLocked() error {
 	n := target - l.tailStart
 	for _, e := range l.entries[:n] {
 		delete(l.dedupe, e.idHash)
-		delete(l.byLeafHash, e.leafHash)
+		// The leafIndex delete runs only after the entry's tile registered
+		// in sealTileLocked above, so a lock-free proof reader that misses
+		// the map is guaranteed to find the hash through the tile blooms.
+		l.byLeafHash.delete(e.leafHash)
 	}
 	l.entries = append([]*Entry(nil), l.entries[n:]...)
 	l.tailStart = target
 	// Re-store the published view over the new tail so reads route
 	// through the tiles immediately (and the old full-tail backing array
 	// becomes collectable once current readers drain). Same head — only
-	// where its entries live changed.
-	m := l.published.TreeHead.TreeSize - l.tailStart
-	l.pub.Store(&publishedState{
-		sth:       l.published,
-		tail:      l.entries[:m:m],
-		tailStart: l.tailStart,
-		tiles:     l.tiles,
-	})
+	// where its entries live changed; the fresh proof view delegates the
+	// newly sealed range to the tiles instead of the pruned RAM levels.
+	if err := l.storePublishedLocked(); err != nil {
+		return err
+	}
 	// Compact: snapshot (tile roots + short tail) at the current WAL
 	// offset, truncate the WAL, re-anchor the snapshot at the truncated
 	// offset. See the package comment above for the crash analysis of

@@ -41,6 +41,11 @@ type TiledTree struct {
 	// for l ≥ tlvl, base[l] == 0.
 	levels [][]Hash
 	base   []uint64
+
+	// frozen marks a PrefixView: a read-only snapshot sharing this tree's
+	// backing arrays. Mutations panic instead of corrupting the shared
+	// state.
+	frozen bool
 }
 
 // NewTiled returns an empty tiled tree with the given span (leaves per
@@ -55,6 +60,50 @@ func NewTiled(span uint64, src NodeSource) (*TiledTree, error) {
 		tlvl: bits.TrailingZeros64(span),
 		src:  src,
 	}, nil
+}
+
+// PrefixView returns an immutable snapshot of the tree's first n leaves:
+// a read-only TiledTree whose Root/RootAt/LeafHash/TileRoot and proof
+// methods answer exactly as the live tree did for sizes ≤ n at the
+// moment of the call, no matter how the live tree is appended to or
+// sealed afterwards. Any number of goroutines may read one view
+// concurrently (the NodeSource must itself be concurrency-safe, which
+// tile-backed sources are — tile files are immutable); mutating a view
+// panics.
+//
+// The snapshot is O(log n) slice headers, not a copy of the nodes: a
+// TiledTree only ever appends to its level slices (existing elements are
+// never rewritten) and Seal replaces pruned slices rather than mutating
+// them, so freezing the current lengths pins a consistent image. A view
+// taken before a Seal keeps the pre-seal backing arrays alive until the
+// view is dropped — the price of lock-free readers, bounded by one
+// unsealed tail per view.
+//
+// n must cover the sealed prefix (sealing only ever happens below a
+// published head, and views are taken at published sizes) and must not
+// exceed the current size.
+func (t *TiledTree) PrefixView(n uint64) (*TiledTree, error) {
+	if n > t.size {
+		return nil, fmt.Errorf("%w: view size %d, have %d", ErrSizeOutOfRange, n, t.size)
+	}
+	if n < t.sealed {
+		return nil, fmt.Errorf("%w: view size %d below sealed prefix %d", ErrSizeOutOfRange, n, t.sealed)
+	}
+	v := &TiledTree{
+		span:   t.span,
+		tlvl:   t.tlvl,
+		src:    t.src,
+		size:   n,
+		sealed: t.sealed,
+		levels: make([][]Hash, len(t.levels)),
+		base:   make([]uint64, len(t.base)),
+		frozen: true,
+	}
+	for i, lv := range t.levels {
+		v.levels[i] = lv[:len(lv):len(lv)]
+	}
+	copy(v.base, t.base)
+	return v, nil
 }
 
 // Size returns the number of leaves.
@@ -91,6 +140,9 @@ func (t *TiledTree) AppendData(data []byte) uint64 {
 // always span-aligned, a carry below the tile level never needs a pruned
 // sibling.
 func (t *TiledTree) AppendLeafHash(h Hash) uint64 {
+	if t.frozen {
+		panic("merkle: append to a frozen PrefixView")
+	}
 	idx := t.size
 	t.size++
 	cur := h
@@ -114,6 +166,9 @@ func (t *TiledTree) AppendLeafHash(h Hash) uint64 {
 // sealed, and carries the root up the spine exactly as span individual
 // appends would have.
 func (t *TiledTree) AppendSealedTile(root Hash) error {
+	if t.frozen {
+		panic("merkle: append to a frozen PrefixView")
+	}
 	if t.size != t.sealed {
 		return fmt.Errorf("merkle: AppendSealedTile with unsealed tail (size %d, sealed %d)", t.size, t.sealed)
 	}
@@ -144,6 +199,9 @@ func (t *TiledTree) AppendSealedTile(root Hash) error {
 // verifying the tile files — since proofs over the sealed region will
 // load them back on demand.
 func (t *TiledTree) Seal(n uint64) error {
+	if t.frozen {
+		panic("merkle: seal of a frozen PrefixView")
+	}
 	if n%t.span != 0 {
 		return fmt.Errorf("merkle: seal size %d is not a multiple of span %d", n, t.span)
 	}

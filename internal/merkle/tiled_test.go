@@ -280,3 +280,127 @@ type funcSource struct {
 }
 
 func (s *funcSource) Node(level int, index uint64) (Hash, error) { return s.fn(level, index) }
+
+// TestPrefixViewMatchesLiveTree: a view frozen at size n answers roots
+// and proofs exactly as the live tree did at that moment — and keeps
+// answering them unchanged while the live tree appends and seals past
+// it. This is the property lock-free proof serving rests on.
+func TestPrefixViewMatchesLiveTree(t *testing.T) {
+	const n = 73
+	const span = 8
+	ref := buildRef(n)
+	src := &treeSource{ref: ref}
+	tt, err := NewTiled(span, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow to 52, sealing the longest aligned prefix as a log would.
+	for i := uint64(0); i < 52; i++ {
+		lh, _ := ref.LeafHash(i)
+		tt.AppendLeafHash(lh)
+	}
+	if err := tt.Seal(48); err != nil {
+		t.Fatal(err)
+	}
+	views := map[uint64]*TiledTree{}
+	for _, sz := range []uint64{48, 50, 52} {
+		v, err := tt.PrefixView(sz)
+		if err != nil {
+			t.Fatalf("PrefixView(%d): %v", sz, err)
+		}
+		views[sz] = v
+		requireSameProofs(t, ref, v, sz)
+	}
+	// Mutate the live tree well past the captured views: more appends,
+	// another seal (which prunes and replaces level slices).
+	for i := uint64(52); i < n; i++ {
+		lh, _ := ref.LeafHash(i)
+		tt.AppendLeafHash(lh)
+	}
+	if err := tt.Seal(64); err != nil {
+		t.Fatal(err)
+	}
+	for sz, v := range views {
+		if v.Size() != sz {
+			t.Fatalf("view size moved to %d", v.Size())
+		}
+		requireSameProofs(t, ref, v, sz)
+	}
+	// A view above its own size still errors like the live tree did.
+	v := views[50]
+	if _, err := v.InclusionProof(0, 51); !errors.Is(err, ErrSizeOutOfRange) {
+		t.Fatalf("InclusionProof above view size: err=%v, want ErrSizeOutOfRange", err)
+	}
+	if _, err := v.ConsistencyProof(3, 51); !errors.Is(err, ErrSizeOutOfRange) {
+		t.Fatalf("ConsistencyProof above view size: err=%v, want ErrSizeOutOfRange", err)
+	}
+}
+
+// TestPrefixViewBounds pins the capture preconditions: a view cannot
+// extend past the live size nor cut into the sealed prefix.
+func TestPrefixViewBounds(t *testing.T) {
+	ref := buildRef(20)
+	src := &treeSource{ref: ref}
+	tt, err := NewTiled(4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		lh, _ := ref.LeafHash(i)
+		tt.AppendLeafHash(lh)
+	}
+	if err := tt.Seal(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.PrefixView(21); !errors.Is(err, ErrSizeOutOfRange) {
+		t.Fatalf("PrefixView above size: err=%v, want ErrSizeOutOfRange", err)
+	}
+	if _, err := tt.PrefixView(12); !errors.Is(err, ErrSizeOutOfRange) {
+		t.Fatalf("PrefixView below sealed: err=%v, want ErrSizeOutOfRange", err)
+	}
+	if _, err := tt.PrefixView(16); err != nil {
+		t.Fatalf("PrefixView at the seal boundary: %v", err)
+	}
+	// The empty tree has an empty view.
+	empty, err := NewTiled(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := empty.PrefixView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := v.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != EmptyRoot() {
+		t.Fatal("empty view root is not the empty root")
+	}
+}
+
+// TestPrefixViewFrozen: mutating a view must panic — it shares backing
+// arrays with the live tree, and a silent append would corrupt both.
+func TestPrefixViewFrozen(t *testing.T) {
+	tt, err := NewTiled(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.AppendData(testLeaf(0))
+	v, err := tt.PrefixView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on a frozen view did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AppendLeafHash", func() { v.AppendLeafHash(Hash{}) })
+	mustPanic("AppendSealedTile", func() { v.AppendSealedTile(Hash{}) })
+	mustPanic("Seal", func() { v.Seal(0) })
+}

@@ -4,9 +4,11 @@
 # mixed workload against backend A (reads) + the frontend (writes).
 #
 # Asserts that every workload class completed requests with zero
-# harness-level failures, and that the committed BENCH_load.json is
-# well-formed (schema, per-class quantiles, and the chunked-vs-unchunked
-# reader-starvation comparison). Run from the repository root:
+# harness-level failures — once under the default mix and once under a
+# proof-heavy mix that hammers the lock-free proof snapshot — and that
+# the committed BENCH_load.json is well-formed (schema, per-class
+# quantiles, the chunked-vs-unchunked reader-starvation comparison, and
+# the idle baselines). Run from the repository root:
 #
 #	./scripts/load_smoke.sh
 set -euo pipefail
@@ -69,6 +71,32 @@ for cls in ("add-chain", "get-sth", "get-entries", "get-proof"):
     assert c["latency"]["p99_ms"] > 0, f"{cls}: empty latency histogram"
 print("ctload smoke: %d requests, %d errors, %.0f rps across %d classes"
       % (res["requests"], res["errors"], res["throughput_rps"], len(classes)))
+EOF
+
+# Proof-heavy mix: most requests are get-proof-by-hash/get-sth-consistency
+# against the published-snapshot proof path, with a write trickle so the
+# sequencer keeps publishing new heads underneath the readers. Any proof
+# error here (wrong status, starved request) fails the smoke.
+PROOF_OUT="$DATA/load_smoke_proof.json"
+"$BIN/ctload" -target "http://$A" -front "http://$FRONT" \
+	-conns 8 -duration 3s -warmup 32 -mix "add=1,sth=1,entries=1,proof=8" \
+	-json "$PROOF_OUT"
+
+python3 - "$PROOF_OUT" <<'EOF'
+import json, sys
+
+res = json.load(open(sys.argv[1]))
+proof = res["classes"]["get-proof"]
+assert proof["requests"] > 0, "proof-heavy mix completed zero proof requests"
+assert proof["errors"] == 0, f"proof-heavy mix: {proof['errors']} proof errors"
+for cls, c in res["classes"].items():
+    assert c["errors"] == 0, f"proof-heavy mix {cls}: {c['errors']} errors"
+print("proof-heavy smoke: %d proof requests, zero errors, proof p99 %.1fms"
+      % (proof["requests"], proof["latency"]["p99_ms"]))
+EOF
+
+python3 - <<'EOF'
+import json
 
 bench = json.load(open("BENCH_load.json"))
 assert bench["schema"] == "ctrise/bench-load/v1", bench["schema"]
@@ -76,12 +104,15 @@ assert "regenerate_with" in bench
 for section in ("unchunked", "chunked"):
     s = bench["reader_starvation"][section]
     assert s["integrate_ms"] > 0
-    for cls, c in s["classes"].items():
-        assert c["requests"] > 0, f"{section}/{cls}: zero requests"
-        assert c["latency"]["p99_ms"] > 0, f"{section}/{cls}: empty histogram"
+    for group in ("classes", "idle_classes"):
+        for cls, c in s[group].items():
+            assert c["requests"] > 0, f"{section}/{group}/{cls}: zero requests"
+            assert c["latency"]["p99_ms"] > 0, f"{section}/{group}/{cls}: empty histogram"
 for cls, c in bench["workload"]["classes"].items():
     assert c["requests"] > 0, f"workload/{cls}: zero requests"
-print("BENCH_load.json well-formed: unchunked proof p99 %.1fms vs chunked %.1fms"
+chunked = bench["reader_starvation"]["chunked"]
+print("BENCH_load.json well-formed: unchunked proof p99 %.1fms vs chunked %.1fms (idle %.1fms)"
       % (bench["reader_starvation"]["unchunked"]["classes"]["get-proof"]["latency"]["p99_ms"],
-         bench["reader_starvation"]["chunked"]["classes"]["get-proof"]["latency"]["p99_ms"]))
+         chunked["classes"]["get-proof"]["latency"]["p99_ms"],
+         chunked["idle_classes"]["get-proof"]["latency"]["p99_ms"]))
 EOF
